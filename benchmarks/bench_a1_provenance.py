@@ -1,0 +1,69 @@
+"""A1 — ablation: parent-reference discovery method.
+
+Workload: 300 indexed articles; 150 queries that are derivations
+(relays, quotes, malicious mutations) of known parents.  For each
+strategy (exact shingle Jaccard, MinHash sketch, term cosine) reports
+recall@1 / recall@2 of the true parent plus per-query latency — the
+cost/recall trade a production deployment would choose from.
+"""
+
+from __future__ import annotations
+
+import time
+
+from benchmarks.conftest import emit
+from repro.core import ProvenanceIndex
+from repro.corpus import CorpusGenerator
+
+N_INDEXED = 300
+N_QUERIES = 150
+
+
+def _dataset():
+    gen = CorpusGenerator(seed=1300)
+    originals = [gen.factual() for _ in range(N_INDEXED)]
+    queries = []
+    for index in range(N_QUERIES):
+        parent = originals[index % N_INDEXED]
+        roll = index % 3
+        if roll == 0:
+            child = gen.relay_derivation(parent, "q", 1.0)
+        elif roll == 1:
+            child = gen.benign_derivation(parent, "q", 1.0)
+        else:
+            child = gen.malicious_derivation(parent, "q", 1.0)
+        queries.append((child.text, parent.article_id))
+    return originals, queries
+
+
+def _evaluate(originals, queries):
+    results = {}
+    for method in ("exact", "minhash", "cosine"):
+        index = ProvenanceIndex(method=method)
+        for article in originals:
+            index.add(article.article_id, article.text)
+        hit_at_1 = hit_at_2 = 0
+        start = time.perf_counter()
+        for text, true_parent in queries:
+            candidates = index.discover_parents(text, threshold=0.05, max_parents=2)
+            found = [c.article_id for c in candidates]
+            if found and found[0] == true_parent:
+                hit_at_1 += 1
+            if true_parent in found:
+                hit_at_2 += 1
+        per_query_ms = 1000 * (time.perf_counter() - start) / len(queries)
+        results[method] = (hit_at_1 / len(queries), hit_at_2 / len(queries), per_query_ms)
+    return results
+
+
+def test_a1_provenance_methods(benchmark):
+    originals, queries = _dataset()
+    results = benchmark.pedantic(_evaluate, args=(originals, queries), rounds=1, iterations=1)
+    rows = [f"{'method':<8} {'recall@1':>9} {'recall@2':>9} {'ms/query':>9}"]
+    for method, (recall1, recall2, latency) in results.items():
+        rows.append(f"{method:<8} {recall1:>9.2f} {recall2:>9.2f} {latency:>9.2f}")
+    rows.append(f"(index size {N_INDEXED}; queries are 1/3 relays, 1/3 benign "
+                f"derivations, 1/3 malicious mutations)")
+    emit(benchmark, "A1 — parent discovery: exact vs MinHash vs cosine", rows)
+    assert results["exact"][1] >= 0.9
+    assert results["minhash"][1] >= 0.85  # sketch trades a little recall

@@ -1,0 +1,89 @@
+"""E1 — Fig. 1: the integrated platform pipeline, end to end.
+
+Workload: 60 articles (mix of faithful reports and mutations) pushed
+through the full publish -> provenance -> AI score -> crowd vote ->
+rank -> commit pipeline on one platform.  Reports the per-component
+latency breakdown and overall throughput — the quantitative content of
+the architecture figure.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+from benchmarks.conftest import emit
+from repro.core import TrustingNewsPlatform, ValidatorPool
+from repro.corpus import CorpusGenerator
+from repro.corpus.mutations import relay
+
+N_ARTICLES = 60
+N_VALIDATORS = 8
+
+
+def _build_world(scorer):
+    platform = TrustingNewsPlatform(seed=300, scorer=scorer)
+    gen = CorpusGenerator(seed=300)
+    platform.register_participant("wire", role="publisher")
+    platform.create_distribution_platform("wire", "wire-svc")
+    platform.create_news_room("wire", "wire-svc", "desk", "politics")
+    platform.register_participant("author", role="journalist")
+    platform.authenticate_journalist("wire-svc", "author")
+    facts = [gen.factual(topic="politics") for _ in range(10)]
+    for index, fact in enumerate(facts):
+        platform.seed_fact(f"f-{index}", fact.text, "public-record", "politics")
+    rng = random.Random(301)
+    pool = ValidatorPool.generate(N_VALIDATORS, rng)
+    for index in range(N_VALIDATORS):
+        platform.register_participant(f"val-{index}", role="checker")
+    return platform, gen, facts, pool, rng
+
+
+def _run_pipeline(platform, gen, facts, pool, rng):
+    timers = {"provenance+publish": 0.0, "ai": 0.0, "crowd": 0.0, "rank": 0.0}
+    for index in range(N_ARTICLES):
+        fact = facts[index % len(facts)]
+        if index % 3 == 2:
+            article = gen.malicious_derivation(relay(fact, "author", 0.0), "author", float(index))
+        else:
+            article = relay(fact, "author", float(index))
+        article_id = f"e1-{index}"
+        start = time.perf_counter()
+        platform.publish_article("author", "wire-svc", "desk", article_id,
+                                 article.text, "politics")
+        timers["provenance+publish"] += time.perf_counter() - start
+
+        start = time.perf_counter()
+        platform.ai_score(article.text)
+        timers["ai"] += time.perf_counter() - start
+
+        start = time.perf_counter()
+        votes = pool.collect_votes(not article.label_fake, rng, turnout=0.6)
+        for vote_index, vote in enumerate(votes):
+            platform.cast_vote(f"val-{vote_index}", article_id, vote.verdict)
+        timers["crowd"] += time.perf_counter() - start
+
+        start = time.perf_counter()
+        platform.rank_article(article_id)
+        timers["rank"] += time.perf_counter() - start
+    return timers
+
+
+def test_e1_platform_pipeline(benchmark, session_scorer):
+    platform, gen, facts, pool, rng = _build_world(session_scorer)
+    total_start = time.perf_counter()
+    timers = benchmark.pedantic(
+        _run_pipeline, args=(platform, gen, facts, pool, rng), rounds=1, iterations=1
+    )
+    elapsed = time.perf_counter() - total_start
+    rows = [
+        f"articles processed: {N_ARTICLES}, validators per article: ~{int(N_VALIDATORS*0.6)}",
+        f"throughput: {N_ARTICLES / elapsed:.1f} articles/s (wall)",
+    ]
+    for component, seconds in sorted(timers.items(), key=lambda kv: -kv[1]):
+        rows.append(f"{component:<20} {1000 * seconds / N_ARTICLES:8.2f} ms/article")
+    stats = platform.stats()
+    rows.append(f"ledger: {stats['blocks']} blocks, {stats['transactions']} txs, "
+                f"{stats['supply_chain_edges']} supply-chain edges")
+    emit(benchmark, "E1 Fig.1 — integrated pipeline latency breakdown", rows)
+    assert stats["articles"] == N_ARTICLES

@@ -1,0 +1,91 @@
+"""E4 — Fig. 4: the news blockchain supply chain.
+
+Workload: a 400-agent social cascade over two seeded stories, with
+every share committed on-chain, then graph reconstruction from the
+ledger.  Reports the structural statistics of the resulting provenance
+graph and contrasts them against E3's process chain: dynamic depth,
+heavy-tailed fan-out, branching (mix/merge) nodes, and the fraction of
+nodes traceable to the factual root.
+"""
+
+from __future__ import annotations
+
+import random
+
+from benchmarks.conftest import emit
+from repro.core import TrustingNewsPlatform, trace_to_factual_root
+from repro.core.process_chain import graph_shape
+from repro.corpus import CorpusGenerator
+from repro.social import CascadeRunner, bind_agents, make_population, scale_free_follow_graph
+
+N_AGENTS = 400
+N_ROUNDS = 10
+
+
+def _run():
+    platform = TrustingNewsPlatform(seed=400)
+    rng = random.Random(400)
+    graph = scale_free_follow_graph(N_AGENTS, seed=400)
+    agents = make_population(N_AGENTS, rng, bot_fraction=0.1)
+    bind_agents(graph, agents)
+    corpus = CorpusGenerator(seed=401)
+
+    fact = corpus.factual(topic="elections")
+    platform.seed_fact("root-fact", fact.text, "election-board", "elections")
+    platform.register_participant("wire", role="publisher")
+    platform.create_distribution_platform("wire", "wire-svc")
+    platform.create_news_room("wire", "wire-svc", "desk", "elections")
+    from repro.corpus.mutations import relay
+
+    seed_factual = relay(fact, "wire", 0.0)
+    platform.publish_article("wire", "wire-svc", "desk", "seed-factual",
+                             seed_factual.text, "elections")
+
+    runner = CascadeRunner(
+        graph, corpus,
+        on_share=lambda event, article: platform.ingest_share(event, article, topic="elections"),
+    )
+    # Two seeds: the factual report and an emotional mutation of it.
+    factual_share = corpus.relay_derivation(seed_factual, "agent-00000", 0.0)
+
+    class _Seed:
+        def __init__(self, agent_id, parent, op, article_id):
+            self.agent_id = agent_id
+            self.parent_article_id = parent
+            self.op = op
+            self.article_id = article_id
+
+    platform.ingest_share(_Seed("agent-00000", "seed-factual", "relay",
+                                factual_share.article_id), factual_share, "elections")
+    fake = corpus.insertion_fake(seed_factual, "agent-00001", 0.0, n_insertions=4)
+    platform.ingest_share(_Seed("agent-00001", "seed-factual", "insert",
+                                fake.article_id), fake, "elections")
+    hubs = sorted(graph.nodes(), key=lambda n: graph.out_degree(n), reverse=True)
+    result = runner.run([(hubs[0], factual_share), (hubs[1], fake)], n_rounds=N_ROUNDS)
+    return platform, result
+
+
+def test_e4_news_supply_chain(benchmark):
+    platform, result = benchmark.pedantic(_run, rounds=1, iterations=1)
+    graph = platform.graph
+    shape = graph_shape(graph)
+    article_nodes = [n for n, a in graph.nodes(data=True) if not a.get("is_fact_root")]
+    traces = [trace_to_factual_root(graph, node) for node in article_nodes]
+    traceable = sum(1 for t in traces if t.traceable)
+    mean_depth = sum(t.hops for t in traces if t.traceable) / max(1, traceable)
+    ops = {}
+    for _, attrs in graph.nodes(data=True):
+        ops[attrs.get("op", "?")] = ops.get(attrs.get("op", "?"), 0) + 1
+    rows = [
+        f"shares recorded on-chain: {len(result.events)}, ledger txs: "
+        f"{platform.chain.ledger.total_transactions()}",
+        shape.as_row("news-chain"),
+        f"traceable to factual root: {traceable}/{len(article_nodes)} "
+        f"({100 * traceable / max(1, len(article_nodes)):.0f}%), mean trace depth {mean_depth:.1f}",
+        f"node ops: {dict(sorted(ops.items()))}",
+        "vs E3: unbounded depth, fan-out >> 1, open membership — the dynamic "
+        "architecture of Fig. 4",
+    ]
+    emit(benchmark, "E4 Fig.4 — news supply chain structure", rows)
+    assert shape.max_depth > 4  # deeper than the fixed workflow
+    assert traceable > 0

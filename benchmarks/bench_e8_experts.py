@@ -1,0 +1,116 @@
+"""E8 — §VI expert identification from ledger history.
+
+Workload: 8 topics, 16 planted experts (2 per topic, consistently
+fact-rooted and faithful), ~200 ordinary accounts whose output is a
+mix of relays and malicious mutations, plus bot content mills.
+Measures precision/recall of the suggested per-topic panels against the
+planted ground truth.
+"""
+
+from __future__ import annotations
+
+import random
+
+from benchmarks.conftest import emit
+from repro.chain import LocalChain
+from repro.core import ExpertFinder, IdentityContract, SupplyChainContract, build_supply_chain_graph
+from repro.corpus import TOPICS, CorpusGenerator
+
+EXPERTS_PER_TOPIC = 2
+CASUALS = 120
+MILLS = 12
+
+
+def _build():
+    chain = LocalChain(seed=800)
+    chain.install_contract(IdentityContract())
+    chain.install_contract(SupplyChainContract())
+    gen = CorpusGenerator(seed=800)
+    rng = random.Random(801)
+
+    accounts: dict[str, object] = {}
+
+    def account(name):
+        if name not in accounts:
+            keypair = chain.new_account()
+            chain.invoke(keypair, "identity", "register",
+                         {"display_name": name, "role": "creator"})
+            accounts[name] = keypair
+        return accounts[name]
+
+    def record(name, article_id, topic, op, parents=(), degrees=(), facts=(), fact_degs=()):
+        chain.invoke(account(name), "supplychain", "record_node",
+                     {"article_id": article_id, "content_hash": "h",
+                      "parents": list(parents), "parent_degrees": list(degrees),
+                      "modification_degree": min(list(degrees) + list(fact_degs) + [1.0]),
+                      "topic": topic, "op": op,
+                      "fact_roots": list(facts), "fact_degrees": list(fact_degs)})
+
+    planted: dict[str, set[str]] = {}
+    counter = 0
+    expert_articles: dict[str, list[str]] = {}
+    for topic in TOPICS:
+        planted[topic.name] = set()
+        for expert_index in range(EXPERTS_PER_TOPIC):
+            name = f"expert-{topic.name}-{expert_index}"
+            planted[topic.name].add(name)
+            for article_index in range(6):
+                article_id = f"exp-{counter}"
+                counter += 1
+                record(name, article_id, topic.name, "publish",
+                       facts=[f"fact-{topic.name}-{article_index}"],
+                       fact_degs=[rng.uniform(0.0, 0.05)])
+                expert_articles.setdefault(topic.name, []).append(article_id)
+    # Casual users: a couple of relays each, moderate fidelity.
+    for casual_index in range(CASUALS):
+        topic = rng.choice(TOPICS).name
+        for _ in range(rng.randint(1, 3)):
+            parent = rng.choice(expert_articles[topic])
+            article_id = f"cas-{counter}"
+            counter += 1
+            record(f"casual-{casual_index}", article_id, topic, "relay",
+                   parents=[parent], degrees=[rng.uniform(0.0, 0.2)])
+    # Content mills: prolific, heavily mutated output.
+    for mill_index in range(MILLS):
+        topic = rng.choice(TOPICS).name
+        for _ in range(10):
+            parent = rng.choice(expert_articles[topic])
+            article_id = f"mill-{counter}"
+            counter += 1
+            record(f"mill-{mill_index}", article_id, topic, "insert",
+                   parents=[parent], degrees=[rng.uniform(0.4, 0.9)])
+    return chain, accounts, planted
+
+
+def _evaluate(chain, accounts, planted):
+    graph = build_supply_chain_graph(chain.ledger)
+    finder = ExpertFinder(graph, min_articles=2)
+    address_to_name = {kp.address: name for name, kp in accounts.items()}
+    true_positive = false_positive = false_negative = 0
+    per_topic = []
+    for topic, experts in planted.items():
+        panel = {address_to_name.get(a, a) for a in finder.suggest_panel(topic, k=EXPERTS_PER_TOPIC)}
+        hits = len(panel & experts)
+        true_positive += hits
+        false_positive += len(panel) - hits
+        false_negative += len(experts) - hits
+        per_topic.append((topic, hits, len(experts)))
+    precision = true_positive / max(1, true_positive + false_positive)
+    recall = true_positive / max(1, true_positive + false_negative)
+    return precision, recall, per_topic
+
+
+def test_e8_expert_identification(benchmark):
+    chain, accounts, planted = _build()
+    precision, recall, per_topic = benchmark.pedantic(
+        _evaluate, args=(chain, accounts, planted), rounds=1, iterations=1
+    )
+    rows = [
+        f"planted: {EXPERTS_PER_TOPIC} experts x {len(planted)} topics among "
+        f"{CASUALS} casual accounts and {MILLS} content mills",
+        f"panel precision={precision:.2f} recall={recall:.2f}",
+        "per-topic hits: " + ", ".join(f"{t}:{h}/{n}" for t, h, n in per_topic),
+    ]
+    emit(benchmark, "E8 — ledger-mined expert panels vs planted ground truth", rows)
+    assert precision >= 0.9
+    assert recall >= 0.9

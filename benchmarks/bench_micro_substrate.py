@@ -1,0 +1,64 @@
+"""Micro-benchmarks of the substrate hot paths.
+
+Not a paper experiment — the engineering baseline: what one signature,
+one endorsement round-trip, one LocalChain transaction, and one
+provenance query cost.  pytest-benchmark runs these with real repetition
+statistics (unlike the one-shot experiment benches).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.chain import LocalChain
+from repro.core import ProvenanceIndex
+from repro.corpus import CorpusGenerator
+from repro.crypto import KeyPair
+from tests.conftest import CounterContract
+
+
+def test_micro_ed25519_sign(benchmark):
+    keypair = KeyPair.generate(random.Random(1))
+    benchmark(keypair.sign, b"the quick brown fox")
+
+
+def test_micro_ed25519_verify(benchmark):
+    keypair = KeyPair.generate(random.Random(2))
+    message = b"the quick brown fox"
+    signature = keypair.sign(message)
+
+    def verify_uncached():
+        # Vary the message so the verification cache cannot short-circuit.
+        verify_uncached.counter += 1
+        payload = message + str(verify_uncached.counter).encode()
+        return keypair.verify(payload, keypair.sign(payload))
+
+    verify_uncached.counter = 0
+    benchmark(verify_uncached)
+
+
+def test_micro_localchain_invoke(benchmark):
+    chain = LocalChain(seed=3)
+    chain.install_contract(CounterContract())
+    account = chain.new_account()
+
+    def one_tx():
+        chain.invoke(account, "counter", "increment")
+
+    benchmark(one_tx)
+    assert chain.ledger.height > 0
+
+
+def test_micro_provenance_query(benchmark):
+    gen = CorpusGenerator(seed=4)
+    index = ProvenanceIndex(method="exact")
+    for _ in range(200):
+        article = gen.factual()
+        index.add(article.article_id, article.text)
+    query = gen.relay_derivation(gen.factual(), "q", 0.0)
+    benchmark(index.discover_parents, query.text)
+
+
+def test_micro_corpus_article(benchmark):
+    gen = CorpusGenerator(seed=5)
+    benchmark(gen.factual)

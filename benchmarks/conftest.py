@@ -1,0 +1,49 @@
+"""Shared helpers for the experiment benchmarks.
+
+Each ``bench_eN_*`` module regenerates one experiment from DESIGN.md's
+index (the paper has no numeric tables — its figures are architecture
+diagrams — so each experiment quantifies one figure or mechanism claim).
+Result rows are printed to stdout (run with ``-s`` to see them live) and
+attached to ``benchmark.extra_info`` so ``--benchmark-json`` output
+carries them; EXPERIMENTS.md records the reference run.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.corpus import CorpusGenerator
+from repro.ml import FakeNewsScorer
+
+RESULTS_PATH = pathlib.Path(__file__).parent / "latest_results.txt"
+_session_started = False
+
+
+def emit(benchmark, title: str, rows: list[str]) -> None:
+    """Record an experiment's result table.
+
+    Printed to stdout (visible with ``-s``), attached to the benchmark
+    JSON via ``extra_info``, and appended to ``benchmarks/
+    latest_results.txt`` (truncated once per session) so the tables
+    survive pytest's output capture.
+    """
+    global _session_started
+    mode = "a" if _session_started else "w"
+    _session_started = True
+    lines = [f"== {title} =="] + [f"  {row}" for row in rows] + [""]
+    print("\n" + "\n".join(lines))
+    with RESULTS_PATH.open(mode, encoding="utf-8") as handle:
+        handle.write("\n".join(lines) + "\n")
+    if benchmark is not None:
+        benchmark.extra_info["experiment"] = title
+        benchmark.extra_info["rows"] = rows
+
+
+@pytest.fixture(scope="session")
+def session_scorer() -> FakeNewsScorer:
+    """One trained AI scorer shared by all benchmarks."""
+    corpus = CorpusGenerator(seed=9000).labeled_corpus(n_factual=250, n_fake=250)
+    texts, labels = corpus.texts_and_labels()
+    return FakeNewsScorer(seed=1).fit(texts, labels)

@@ -1,0 +1,84 @@
+"""Expert discovery and pre-propagation risk scoring from ledger history.
+
+Builds a ledger where a handful of accounts consistently author
+fact-rooted health reporting while bots churn out mutations, then:
+
+1. mines the supply-chain graph for per-topic experts (§VI),
+2. suggests a dynamic fact-checking panel for an emerging story,
+3. trains the pre-propagation fake-risk predictor on content + author
+   ledger history (§VII) and scores brand-new articles.
+
+Run:  python examples/expert_discovery.py
+"""
+
+import numpy as np
+
+from repro import TrustingNewsPlatform
+from repro.core import ExpertFinder, FakeRiskPredictor
+from repro.corpus import CorpusGenerator
+from repro.corpus.mutations import relay
+from repro.ml import roc_auc
+
+
+def main() -> None:
+    platform = TrustingNewsPlatform(seed=13)
+    gen = CorpusGenerator(seed=13)
+
+    platform.register_participant("lancet", role="publisher")
+    platform.create_distribution_platform("lancet", "lancet-news")
+    platform.create_news_room("lancet", "lancet-news", "trials", "health")
+
+    # Seed ground-truth facts.
+    facts = [gen.factual(topic="health") for _ in range(6)]
+    for index, fact in enumerate(facts):
+        platform.seed_fact(f"trial-{index}", fact.text, "medical-registry", "health")
+
+    # Two genuine experts file faithful, fact-rooted reports.
+    articles_by_author: dict[str, list[str]] = {}
+    for expert in ("dr-amara", "dr-lindgren"):
+        platform.register_participant(expert, role="journalist")
+        platform.authenticate_journalist("lancet-news", expert)
+        for index, fact in enumerate(facts[:4]):
+            article_id = f"{expert}-a{index}"
+            platform.publish_article(
+                expert, "lancet-news", "trials", article_id,
+                relay(fact, expert, float(index)).text, "health",
+            )
+            articles_by_author.setdefault(expert, []).append(article_id)
+
+    # A content mill floods mutations of the experts' work.
+    platform.register_participant("healthbuzz", role="journalist")
+    platform.authenticate_journalist("lancet-news", "healthbuzz")
+    for index in range(5):
+        source = relay(facts[index % 4], "x", 0.0)
+        fake = gen.insertion_fake(source, "healthbuzz", 10.0 + index, n_insertions=3)
+        platform.publish_article(
+            "healthbuzz", "lancet-news", "trials", f"buzz-{index}", fake.text, "health"
+        )
+
+    # 1-2. Mine experts and suggest a panel for an emerging health story.
+    finder = ExpertFinder(platform.graph)
+    print("expert standings in 'health':")
+    for standing in finder.scores("health"):
+        label = {platform.address_of(n): n for n in platform.accounts}.get(standing.author, "?")
+        print(f"  {label:12} articles={standing.articles} "
+              f"mean_provenance={standing.mean_provenance:.2f} score={standing.score:.2f}")
+    panel = finder.suggest_panel("health", k=3)
+    names = {platform.address_of(n): n for n in platform.accounts}
+    print("suggested fact-checking panel:", [names.get(a, a) for a in panel])
+
+    # 3. Train the risk predictor on a labeled corpus plus this ledger.
+    train = gen.labeled_corpus(n_factual=150, n_fake=150)
+    predictor = FakeRiskPredictor().fit(train.articles, platform.graph)
+    test = CorpusGenerator(seed=14).labeled_corpus(n_factual=60, n_fake=60)
+    risks = predictor.risk(test.articles, platform.graph)
+    labels = np.array([int(a.label_fake) for a in test.articles])
+    print(f"\npre-propagation fake-risk AUC on held-out articles: "
+          f"{roc_auc(labels, risks):.3f}")
+    riskiest = test.articles[int(np.argmax(risks))]
+    print(f"riskiest unseen article (truth: {'fake' if riskiest.label_fake else 'factual'}): "
+          f"{riskiest.text[:100]}...")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+"""The full editorial workflow of §V: platforms, rooms, review, rejection.
+
+Shows the two-layer trust design — the distribution platform vouches for
+its creators, the editing platform for its content — and how every
+editorial decision (including rejections, with reasons) lands on the
+ledger for audit.
+
+Run:  python examples/newsroom_workflow.py
+"""
+
+from repro import TrustingNewsPlatform
+from repro.corpus import CorpusGenerator
+from repro.corpus.mutations import relay, split
+from repro.crypto.hashing import sha256_hex
+from repro.errors import ContractError
+
+
+def main() -> None:
+    platform = TrustingNewsPlatform(seed=11)
+    gen = CorpusGenerator(seed=11)
+
+    # Two competing distribution platforms.
+    platform.register_participant("herald", role="publisher")
+    platform.register_participant("tribune", role="publisher")
+    platform.create_distribution_platform("herald", "the-herald")
+    platform.create_distribution_platform("tribune", "the-tribune")
+    platform.create_news_room("herald", "the-herald", "health-desk", "health")
+    platform.create_news_room("tribune", "the-tribune", "health-watch", "health")
+
+    # Journalists are admitted per platform — herald's roster does not
+    # carry over to the tribune.
+    platform.register_participant("amy", role="journalist")
+    platform.authenticate_journalist("the-herald", "amy")
+
+    fact = gen.factual(topic="health")
+    platform.seed_fact("trial-report-44", fact.text, "medical-registry", "health")
+
+    story = relay(fact, "amy", 1.0)
+    published = platform.publish_article(
+        "amy", "the-herald", "health-desk", "herald-1", story.text, "health"
+    )
+    print(f"herald-1 published, linked to facts {published.fact_roots}")
+
+    # Amy is not a tribune member: the contract refuses her draft there.
+    try:
+        platform.publish_article("amy", "the-tribune", "health-watch",
+                                 "tribune-1", story.text, "health")
+    except ContractError as error:
+        print(f"tribune rejected amy's draft: {error}")
+
+    # The editor can also reject work after review; the reason is public.
+    chain = platform.chain
+    amy = platform.account("amy")
+    quoted = split(story, "amy", 2.0, gen.rng, keep_fraction=0.3)
+    chain.invoke(amy, "newsroom", "submit_draft",
+                 {"article_id": "herald-2", "platform_name": "the-herald",
+                  "room_name": "health-desk",
+                  "content_hash": sha256_hex(quoted.text.encode())})
+    chain.invoke(amy, "newsroom", "start_review", {"article_id": "herald-2"})
+    chain.invoke(platform.account("herald"), "newsroom", "reject",
+                 {"article_id": "herald-2", "reason": "quote stripped of context"})
+    record = chain.query("newsroom", "get_article", {"article_id": "herald-2"})
+    print(f"herald-2 state: {record['state']}")
+
+    # The entire editorial history is reconstructable from the ledger.
+    print("\neditorial audit trail:")
+    for event in chain.ledger.events(contract="newsroom"):
+        detail = {k: v for k, v in event.items() if not k.startswith("_") and k != "kind"}
+        print(f"  block {event['_height']:>3}  {event['kind']:24} {detail}")
+
+    assert chain.ledger.verify_chain()
+    print("\nledger audit: clean")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+"""Quickstart: publish, rank, and trace news on the trusting-news platform.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import TrustingNewsPlatform
+from repro.corpus import CorpusGenerator
+from repro.corpus.mutations import relay
+
+
+def main() -> None:
+    platform = TrustingNewsPlatform(seed=7)
+    gen = CorpusGenerator(seed=7)
+
+    # 1. Bootstrap the factual database from an "official public record".
+    fact = gen.factual(topic="politics")
+    platform.seed_fact("speech-2026-001", fact.text,
+                       source="congressional-record", topic="politics")
+    print("seeded fact: speech-2026-001")
+
+    # 2. A verified publisher founds a distribution platform with a news room.
+    platform.register_participant("reuters", role="publisher")
+    platform.create_distribution_platform("reuters", "reuters-wire")
+    platform.create_news_room("reuters", "reuters-wire", "politics-desk", "politics")
+
+    # 3. An authenticated journalist publishes a faithful report.
+    platform.register_participant("jane", role="journalist")
+    platform.authenticate_journalist("reuters-wire", "jane")
+    report = relay(fact, "jane", 1.0)
+    published = platform.publish_article(
+        "jane", "reuters-wire", "politics-desk",
+        article_id="report-1", text=report.text, topic="politics",
+    )
+    print(f"published report-1  fact_roots={published.fact_roots} "
+          f"modification={published.modification_degree:.3f}")
+
+    # 4. A troll publishes a sensationalized mutation of the report.
+    platform.register_participant("troll", role="journalist")
+    platform.authenticate_journalist("reuters-wire", "troll")
+    fake = gen.insertion_fake(report, "troll", 2.0, n_insertions=4)
+    platform.publish_article(
+        "troll", "reuters-wire", "politics-desk",
+        article_id="fake-1", text=fake.text, topic="politics",
+    )
+
+    # 5. Fact checkers vote on-chain.
+    for index in range(5):
+        platform.register_participant(f"checker-{index}", role="checker")
+        platform.cast_vote(f"checker-{index}", "report-1", verdict=True)
+        platform.cast_vote(f"checker-{index}", "fake-1", verdict=index == 0)
+
+    # 6. Rank both; the verdicts (and their components) land on the ledger.
+    for article_id in ("report-1", "fake-1"):
+        ranked = platform.rank_article(article_id)
+        print(f"rank {article_id:9} score={ranked.score:.3f} "
+              f"(provenance={ranked.provenance_score:.3f} crowd={ranked.crowd_score:.2f})")
+
+    # 7. Trace the fake back to the factual database and hold its author
+    #    accountable.
+    trace = platform.trace("fake-1")
+    print(f"trace fake-1 -> {trace.root} in {trace.hops} hops, "
+          f"accumulated modification {trace.cumulative_modification:.3f}")
+    culprit = platform.accountable_author("fake-1")
+    print(f"accountable author: {culprit} (troll is {platform.address_of('troll')})")
+
+    # 8. The faithful report clears the promotion bar and joins the
+    #    factual database itself.
+    platform.promote_to_factual("report-1")
+    print("facts now:", platform.facts())
+    print("platform stats:", platform.stats())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,108 @@
+"""The governance layer end to end: charters, media provenance, the tool
+market, and the Management Act.
+
+Walks the mechanisms of §V that surround the core publishing pipeline:
+
+1. a publisher petitions for a distribution platform; checkers review;
+   the charter is finalized on-chain;
+2. a camera operator registers a capture fingerprint; a deepfaked copy
+   of the clip condemns the article that attaches it;
+3. a developer lists a detection tool, earns royalties per invocation,
+   and builds a public accuracy record;
+4. a serial fabricator accumulates conduct strikes and is suspended —
+   then can no longer publish anywhere.
+
+Run:  python examples/trust_ecosystem.py
+"""
+
+import numpy as np
+
+from repro import TrustingNewsPlatform
+from repro.corpus import CorpusGenerator
+from repro.corpus.mutations import relay
+from repro.ml import capture_signal, tamper_signal
+
+
+def main() -> None:
+    platform = TrustingNewsPlatform(seed=17)
+    gen = CorpusGenerator(seed=17)
+    rng = np.random.default_rng(17)
+
+    # --- 1. crowd-reviewed platform charter --------------------------------
+    platform.register_participant("founder", role="publisher")
+    for index in range(3):
+        platform.register_participant(f"checker-{index}", role="checker")
+    platform.petition_platform("founder", "daily-ledger",
+                               charter="independent, source-transparent daily", quorum=3)
+    for index in range(3):
+        platform.review_petition(f"checker-{index}", "daily-ledger", approve=True)
+    status = platform.finalize_petition("daily-ledger")
+    print(f"charter petition for 'daily-ledger': {status} "
+          f"(chartered={platform.is_chartered('daily-ledger')})")
+    platform.create_distribution_platform("founder", "daily-ledger")
+    platform.create_news_room("founder", "daily-ledger", "newsdesk", "politics")
+
+    # --- 2. media provenance ------------------------------------------------
+    fact = gen.factual(topic="politics")
+    platform.seed_fact("f-1", fact.text, "public-record", "politics")
+    platform.register_participant("camera-op", role="journalist")
+    platform.authenticate_journalist("daily-ledger", "camera-op")
+    signal = capture_signal(rng)
+    platform.register_media("camera-op", "rally-clip", signal, "campaign rally capture")
+    text = relay(fact, "camera-op", 1.0).text
+    clean = platform.publish_article("camera-op", "daily-ledger", "newsdesk",
+                                     "story-clean", text, "politics",
+                                     media=[("rally-clip", signal)])
+    deepfaked, _ = tamper_signal(signal, rng, n_segments=6)
+    faked = platform.publish_article("camera-op", "daily-ledger", "newsdesk",
+                                     "story-faked", text + " exclusive update", "politics",
+                                     media=[("rally-clip", deepfaked)])
+    print(f"authentic clip: rank {platform.rank_article('story-clean').score:.3f}   "
+          f"deepfaked clip: rank {platform.rank_article('story-faked').score:.3f}")
+
+    # --- 3. the tool market ---------------------------------------------------
+    platform.register_participant("dev", role="developer")
+    platform.chain.invoke(platform.account("dev"), "toolmarket", "register_tool",
+                          {"tool_id": "stylometer-v1", "description": "stylometric scorer",
+                           "fee": 0.25, "stake": 20.0})
+    verdicts = [("story-clean", 0.1, False), ("story-faked", 0.8, True)]
+    for article_id, score, final_fake in verdicts:
+        platform.chain.invoke(platform.governance, "toolmarket", "record_invocation",
+                              {"tool_id": "stylometer-v1", "article_id": article_id,
+                               "score": score})
+        platform.chain.invoke(platform.governance, "toolmarket", "record_outcome",
+                              {"tool_id": "stylometer-v1", "article_id": article_id,
+                               "final_fake": final_fake})
+    tool = platform.chain.query("toolmarket", "get_tool", {"tool_id": "stylometer-v1"})
+    print(f"tool 'stylometer-v1': {tool['calls']} calls, accuracy "
+          f"{tool['correct']}/{tool['calls']}, royalties {tool['royalties_accrued']:.2f}")
+
+    # --- 4. the Management Act -------------------------------------------------
+    platform.register_participant("fabricator", role="journalist")
+    platform.authenticate_journalist("daily-ledger", "fabricator")
+    for strike in range(3):
+        platform.chain.invoke(platform.account("checker-0"), "conduct", "file_report",
+                              {"report_id": f"rep-{strike}",
+                               "accused": platform.address_of("fabricator"),
+                               "article_id": "story-faked", "category": "fake-news",
+                               "stake": 1.0})
+        platform.chain.invoke(platform.governance, "conduct", "adjudicate",
+                              {"report_id": f"rep-{strike}", "upheld": True})
+    standing = platform.chain.query("conduct", "standing",
+                                    {"address": platform.address_of("fabricator")})
+    print(f"fabricator standing: {standing}")
+    try:
+        platform.publish_article("fabricator", "daily-ledger", "newsdesk",
+                                 "blocked", "anything", "politics")
+    except Exception as error:  # noqa: BLE001 - demo output
+        print(f"suspended account publishing attempt: {error}")
+
+    # Every one of the above is reconstructable from the ledger.
+    audit = platform.export_audit("story-faked")
+    print(f"audit bundle for story-faked: ranking={audit['ranking']['final_score']:.3f}, "
+          f"traceable={audit['trace']['traceable']}")
+    print("platform stats:", platform.stats())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Legacy shim: the offline environment lacks the `wheel` package, so
+PEP 517 editable installs fail; `setup.py develop` still works."""
+from setuptools import setup
+
+setup()

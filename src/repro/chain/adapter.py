@@ -1,0 +1,143 @@
+"""NetworkedChain: run the platform on the distributed chain.
+
+:class:`~repro.core.platform.TrustingNewsPlatform` programs against the
+LocalChain interface (``invoke`` / ``query`` / ``ledger`` / clock).
+This adapter provides the same interface on top of a
+:class:`~repro.chain.network.BlockchainNetwork`, so the identical
+platform code runs over real consensus: every ``invoke`` endorses,
+submits, and advances simulated time until the transaction commits.
+
+This is the deployment the paper actually describes; LocalChain exists
+so experiments that aren't *about* consensus don't pay for it.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.chain.contracts import Contract, EndorsementPolicy
+from repro.chain.ledger import Ledger
+from repro.chain.network import BlockchainNetwork, ChainClient
+from repro.chain.transaction import TxReceipt
+from repro.crypto.keys import KeyPair
+from repro.errors import ContractError
+
+__all__ = ["NetworkedChain"]
+
+
+class NetworkedChain:
+    """LocalChain-compatible facade over a BlockchainNetwork."""
+
+    def __init__(self, network: BlockchainNetwork, receipt_timeout: float = 120.0):
+        self.network = network
+        self.receipt_timeout = receipt_timeout
+        self.node_id = "networked-chain"
+        self._clients: dict[str, ChainClient] = {}
+
+    # -- accounts & time -----------------------------------------------------
+
+    def new_account(self) -> KeyPair:
+        return KeyPair.generate(self.network.rng)
+
+    @property
+    def now(self) -> float:
+        return self.network.sim.now
+
+    def advance_time(self, delta: float = 1.0) -> float:
+        if delta < 0:
+            raise ValueError("time cannot go backwards")
+        self.network.run_for(delta)
+        return self.now
+
+    # -- deployment -------------------------------------------------------------
+
+    def install_contract(self, contract: Contract, policy: EndorsementPolicy | None = None) -> str:
+        """Install one contract instance on every peer.
+
+        Contracts are stateless by construction (all state lives in the
+        world state behind the context), so sharing the instance across
+        peers is safe.
+        """
+        for peer in self.network.peers:
+            peer.registry.install(contract)
+            if policy is not None:
+                peer.set_policy(contract.name, policy)
+        if policy is not None:
+            self.network._policies[contract.name] = policy
+        return contract.name
+
+    # -- ledger -------------------------------------------------------------------
+
+    @property
+    def ledger(self) -> Ledger:
+        """The freshest live peer's ledger (they agree on the prefix)."""
+        live = [p for p in self.network.peers if not p.crashed]
+        return max(live, key=lambda p: p.ledger.height).ledger
+
+    # -- transaction path -------------------------------------------------------------
+
+    def _client_for(self, keypair: KeyPair) -> ChainClient:
+        client = self._clients.get(keypair.address)
+        if client is None:
+            client = ChainClient(keypair=keypair, network=self.network)
+            self._clients[keypair.address] = client
+        return client
+
+    def invoke(
+        self,
+        keypair: KeyPair,
+        contract: str,
+        method: str,
+        args: dict[str, Any] | None = None,
+    ) -> TxReceipt:
+        """Endorse, order, and commit one invocation; raise on failure.
+
+        Matches LocalChain semantics: contract aborts surface as
+        :class:`ContractError` (at endorsement time), and a receipt is
+        only returned once the transaction is final on some peer.
+        """
+        client = self._client_for(keypair)
+        tx = self.network.endorse_transaction(client, contract, method, args or {})
+        self.network.submit(tx)
+        receipt = self.network.wait_for_receipt(tx.tx_id, timeout=self.receipt_timeout)
+        if not receipt.success:
+            raise ContractError(receipt.error or f"{contract}.{method} failed at commit")
+        self._barrier(receipt.block_height)
+        return receipt
+
+    def _barrier(self, height: int) -> None:
+        """Advance time until every live peer applied block *height*.
+
+        The platform issues dependent transactions back-to-back; without
+        the barrier the next proposal may be endorsed on a peer that has
+        not applied this commit yet, and fail MVCC validation — correct
+        Fabric behaviour, but pointless churn for a sequential client.
+        """
+        deadline = self.now + self.receipt_timeout
+        while self.now < deadline:
+            live = [p for p in self.network.peers if not p.crashed]
+            if all(p.ledger.height >= height for p in live):
+                return
+            if not self.network.sim.step():
+                return
+
+    def query(
+        self,
+        contract: str,
+        method: str,
+        args: dict[str, Any] | None = None,
+        caller: str = "query",
+    ) -> Any:
+        for peer in sorted(
+            (p for p in self.network.peers if not p.crashed),
+            key=lambda p: p.ledger.height,
+            reverse=True,
+        ):
+            result = peer.registry.execute(
+                peer.state, contract, method, args or {},
+                caller=caller, timestamp=self.now, tx_id="query",
+            )
+            if not result.success:
+                raise ContractError(result.error or "query failed")
+            return result.return_value
+        raise ContractError("no live peer to query")

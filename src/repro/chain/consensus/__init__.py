@@ -1,0 +1,14 @@
+"""Consensus engines: PBFT, round-robin PoA ordering, sharded execution."""
+
+from repro.chain.consensus.base import ConsensusEngine
+from repro.chain.consensus.pbft import PBFTEngine
+from repro.chain.consensus.poa import RoundRobinOrderer
+from repro.chain.consensus.sharded import ShardedExecutor, ShardSchedule
+
+__all__ = [
+    "ConsensusEngine",
+    "PBFTEngine",
+    "RoundRobinOrderer",
+    "ShardedExecutor",
+    "ShardSchedule",
+]

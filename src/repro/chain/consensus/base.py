@@ -1,0 +1,48 @@
+"""Consensus engine interface.
+
+Engines plug into a :class:`~repro.chain.peer.Peer`: the peer hands them
+network messages and a mempool; engines decide blocks and hand them back
+via ``peer.commit_block``.  Two engines are provided — a round-robin
+PoA orderer (Fabric-style ordering service) and PBFT — plus a sharded
+parallel execution model layered on either (the authors' ICDCS'18
+design).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING
+
+from repro.simnet.network import Message
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.chain.peer import Peer
+
+__all__ = ["ConsensusEngine"]
+
+
+class ConsensusEngine(ABC):
+    """Base class for block-ordering protocols."""
+
+    def __init__(self) -> None:
+        self.peer: "Peer | None" = None
+        self.stopped = False
+
+    def attach(self, peer: "Peer") -> None:
+        """Bind the engine to its peer (called by the peer itself)."""
+        self.peer = peer
+
+    @abstractmethod
+    def start(self) -> None:
+        """Begin participating (schedule timers, etc.)."""
+
+    def stop(self) -> None:
+        """Stop proposing; in-flight work may still complete."""
+        self.stopped = True
+
+    @abstractmethod
+    def on_message(self, message: Message) -> bool:
+        """Handle a consensus message; return True if it was consumed."""
+
+    def on_transaction_admitted(self) -> None:
+        """Hook: the peer admitted a new transaction to its mempool."""

@@ -1,0 +1,303 @@
+"""Practical Byzantine Fault Tolerance over the simulated network.
+
+A faithful (if compact) PBFT: pre-prepare / prepare / commit phases with
+2f+1 quorums, view changes on timeout, and state sync for replicas that
+miss a round.  Tolerates f faulty of n = 3f+1 validators, including an
+equivocating (byzantine) primary — see ``tests/chain/test_pbft.py``.
+
+Simplifications relative to Castro & Liskov, documented here because
+they matter when reading experiment results:
+
+- Channels are authenticated by the simulator (a message's ``src`` is
+  trusted), so per-message signatures and the new-view proof are elided;
+  commit certificates carry sender sets instead.
+- Checkpointing/garbage collection is replaced by pruning round state
+  once a height commits (the simulator's ledger is the checkpoint).
+- One block (= one PBFT sequence number) is in flight at a time per
+  view, which matches how Fabric-style ordering batches anyway.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.chain.block import Block
+from repro.chain.consensus.base import ConsensusEngine
+from repro.simnet.network import Message
+
+__all__ = ["PBFTEngine"]
+
+_PRE_PREPARE = "pbft-pre-prepare"
+_PREPARE = "pbft-prepare"
+_COMMIT = "pbft-commit"
+_VIEW_CHANGE = "pbft-view-change"
+_COMMITTED = "pbft-committed"
+
+
+@dataclass
+class _Round:
+    """Bookkeeping for one (view, height) consensus instance."""
+
+    digest: str | None = None
+    block: Block | None = None
+    prepares: set[str] = field(default_factory=set)
+    commits: set[str] = field(default_factory=set)
+    sent_prepare: bool = False
+    sent_commit: bool = False
+
+
+class PBFTEngine(ConsensusEngine):
+    """PBFT replica logic for one peer."""
+
+    def __init__(
+        self,
+        validators: list[str],
+        block_interval: float = 1.0,
+        view_timeout: float = 10.0,
+        max_block_txs: int = 500,
+    ):
+        super().__init__()
+        if len(validators) < 4:
+            raise ValueError("PBFT needs n >= 4 validators (n = 3f + 1, f >= 1)")
+        self.validators = list(validators)
+        self.block_interval = block_interval
+        self.view_timeout = view_timeout
+        self.max_block_txs = max_block_txs
+        self.view = 0
+        self._rounds: dict[tuple[int, int], _Round] = {}
+        self._view_votes: dict[int, set[str]] = {}
+        self._proposing = False
+        self._tick_scheduled = False
+        self._timer_scheduled = False
+        self._timer_height = -1
+        self.view_changes_completed = 0
+
+    # -- helpers -----------------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        return len(self.validators)
+
+    @property
+    def f(self) -> int:
+        return (self.n - 1) // 3
+
+    @property
+    def quorum(self) -> int:
+        """2f + 1: the intersection-guaranteeing quorum size."""
+        return 2 * self.f + 1
+
+    def primary_for(self, view: int) -> str:
+        return self.validators[view % self.n]
+
+    def is_primary(self) -> bool:
+        assert self.peer is not None
+        return self.primary_for(self.view) == self.peer.node_id
+
+    def _round(self, view: int, height: int) -> _Round:
+        return self._rounds.setdefault((view, height), _Round())
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> None:
+        self._schedule_tick()
+        self._arm_view_timer()
+
+    def _schedule_tick(self) -> None:
+        if self.stopped or self._tick_scheduled:
+            return
+        self._tick_scheduled = True
+        assert self.peer is not None
+        self.peer.sim.schedule(self.block_interval, self._tick, label=f"pbft-tick:{self.peer.node_id}")
+
+    def _tick(self) -> None:
+        self._tick_scheduled = False
+        if self.stopped:
+            return
+        peer = self.peer
+        assert peer is not None
+        if self.is_primary() and not peer.crashed and len(peer.mempool) > 0:
+            next_height = peer.ledger.height + 1
+            if self._round(self.view, next_height).digest is None:
+                self._propose(next_height)
+        self._schedule_tick()
+
+    # -- proposal (primary) ---------------------------------------------------
+
+    def _propose(self, height: int) -> None:
+        peer = self.peer
+        assert peer is not None
+        batch = peer.mempool.take(self.max_block_txs)
+        if not batch:
+            return
+        if getattr(peer, "byzantine", False):
+            self._propose_equivocating(height, batch)
+            return
+        block = Block.build(
+            height=height,
+            prev_hash=peer.ledger.head.block_hash,
+            timestamp=peer.sim.now,
+            proposer=peer.node_id,
+            transactions=batch,
+        )
+        payload = {"view": self.view, "height": height, "block": block}
+        peer.broadcast(_PRE_PREPARE, payload)
+        self._accept_pre_prepare(self.view, height, block, peer.node_id)
+
+    def _propose_equivocating(self, height: int, batch: list) -> None:
+        """Byzantine primary: send conflicting blocks to the two halves
+        of the network.  PBFT's prepare quorum ensures at most one of the
+        two digests can ever commit."""
+        peer = self.peer
+        assert peer is not None
+        half = max(1, len(batch) // 2) if len(batch) > 1 else 1
+        block_a = Block.build(height, peer.ledger.head.block_hash, peer.sim.now, peer.node_id, batch[:half])
+        block_b = Block.build(height, peer.ledger.head.block_hash, peer.sim.now, peer.node_id, list(reversed(batch)))
+        others = [v for v in self.validators if v != peer.node_id]
+        for index, validator in enumerate(others):
+            chosen = block_a if index % 2 == 0 else block_b
+            peer.send(validator, _PRE_PREPARE, {"view": self.view, "height": height, "block": chosen})
+
+    # -- replica phases ---------------------------------------------------------
+
+    def _accept_pre_prepare(self, view: int, height: int, block: Block, src: str) -> None:
+        peer = self.peer
+        assert peer is not None
+        if view != self.view or src != self.primary_for(view):
+            return
+        if height != peer.ledger.height + 1:
+            return
+        state = self._round(view, height)
+        if state.digest is not None and state.digest != block.block_hash:
+            return  # primary equivocated to us; keep the first
+        state.digest = block.block_hash
+        state.block = block
+        if not state.sent_prepare:
+            state.sent_prepare = True
+            state.prepares.add(peer.node_id)
+            peer.broadcast(
+                _PREPARE, {"view": view, "height": height, "digest": block.block_hash}
+            )
+        self._maybe_advance(view, height)
+
+    def _on_prepare(self, view: int, height: int, digest: str, src: str) -> None:
+        assert self.peer is not None
+        if height <= self.peer.ledger.height:
+            return  # straggler for a committed height; don't resurrect state
+        state = self._round(view, height)
+        if state.digest is not None and digest != state.digest:
+            return
+        state.prepares.add(src)
+        self._maybe_advance(view, height)
+
+    def _on_commit(self, view: int, height: int, digest: str, src: str) -> None:
+        assert self.peer is not None
+        if height <= self.peer.ledger.height:
+            return  # straggler for a committed height; don't resurrect state
+        state = self._round(view, height)
+        if state.digest is not None and digest != state.digest:
+            return
+        state.commits.add(src)
+        self._maybe_advance(view, height)
+
+    def _maybe_advance(self, view: int, height: int) -> None:
+        peer = self.peer
+        assert peer is not None
+        state = self._round(view, height)
+        if state.digest is None:
+            return
+        if not state.sent_commit and len(state.prepares) >= self.quorum:
+            state.sent_commit = True
+            state.commits.add(peer.node_id)
+            peer.broadcast(_COMMIT, {"view": view, "height": height, "digest": state.digest})
+        if (
+            state.sent_commit
+            and state.block is not None
+            and len(state.commits) >= self.quorum
+            and height == peer.ledger.height + 1
+        ):
+            block = state.block
+            certificate = sorted(state.commits)
+            self._cleanup_height(height)
+            peer.commit_block(block)
+            peer.broadcast(_COMMITTED, {"block": block, "certificate": certificate})
+            self._timer_height = peer.ledger.height
+            self._arm_view_timer()
+
+    def _cleanup_height(self, height: int) -> None:
+        for key in [k for k in self._rounds if k[1] <= height]:
+            del self._rounds[key]
+
+    # -- view change ----------------------------------------------------------
+
+    def _arm_view_timer(self) -> None:
+        # Exactly one outstanding timer per replica: commits would
+        # otherwise each spawn an immortal re-arming chain, flooding the
+        # event queue and occasionally firing against stale heights.
+        if self.stopped or self._timer_scheduled:
+            return
+        peer = self.peer
+        assert peer is not None
+        self._timer_scheduled = True
+        expected = peer.ledger.height
+        self.peer.sim.schedule(
+            self.view_timeout,
+            lambda: self._view_timer_fired(expected),
+            label=f"pbft-timer:{peer.node_id}",
+        )
+
+    def _view_timer_fired(self, expected_height: int) -> None:
+        self._timer_scheduled = False
+        if self.stopped:
+            return
+        peer = self.peer
+        assert peer is not None
+        stalled = peer.ledger.height == expected_height and (
+            len(peer.mempool) > 0 or any(True for _ in self._rounds)
+        )
+        if stalled and not peer.crashed:
+            proposal = self.view + 1
+            self._vote_view_change(proposal, peer.node_id)
+            peer.broadcast(_VIEW_CHANGE, {"new_view": proposal})
+        self._arm_view_timer()
+
+    def _vote_view_change(self, new_view: int, src: str) -> None:
+        if new_view <= self.view:
+            return
+        votes = self._view_votes.setdefault(new_view, set())
+        votes.add(src)
+        if len(votes) >= self.quorum:
+            self.view = new_view
+            self.view_changes_completed += 1
+            self._rounds = {k: v for k, v in self._rounds.items() if k[0] >= new_view}
+            self._view_votes = {v: s for v, s in self._view_votes.items() if v > new_view}
+
+    # -- sync -------------------------------------------------------------------
+
+    def _on_committed(self, block: Block, certificate: list[str]) -> None:
+        peer = self.peer
+        assert peer is not None
+        valid_signers = sum(1 for signer in certificate if signer in self.validators)
+        if valid_signers < self.quorum:
+            return
+        if block.height == peer.ledger.height + 1:
+            self._cleanup_height(block.height)
+            peer.commit_block(block)
+
+    # -- dispatch ----------------------------------------------------------------
+
+    def on_message(self, message: Message) -> bool:
+        payload = message.payload
+        if message.kind == _PRE_PREPARE:
+            self._accept_pre_prepare(payload["view"], payload["height"], payload["block"], message.src)
+        elif message.kind == _PREPARE:
+            self._on_prepare(payload["view"], payload["height"], payload["digest"], message.src)
+        elif message.kind == _COMMIT:
+            self._on_commit(payload["view"], payload["height"], payload["digest"], message.src)
+        elif message.kind == _VIEW_CHANGE:
+            self._vote_view_change(payload["new_view"], message.src)
+        elif message.kind == _COMMITTED:
+            self._on_committed(payload["block"], payload["certificate"])
+        else:
+            return False
+        return True

@@ -1,0 +1,136 @@
+"""Round-robin proof-of-authority ordering (Fabric-style orderer).
+
+The leader for height *h* is ``validators[h % n]``.  The leader batches
+its mempool into a block every ``block_interval`` and broadcasts it;
+followers accept a block iff it comes from the expected leader and
+extends their chain.  There is no voting — authority is the trust model,
+exactly like a Fabric ordering service — which makes this the throughput
+upper bound PBFT is compared against in E9.
+
+Crash behaviour: if the scheduled leader is crashed, that height simply
+stalls until rotation reaches a live leader (followers accept any
+height-h block from the height-h leader, so a recovered leader can fill
+the gap).  A production orderer would failover faster; for experiments
+the stall *is* the observable cost of leader failure.
+"""
+
+from __future__ import annotations
+
+from repro.chain.block import Block
+from repro.chain.consensus.base import ConsensusEngine
+from repro.simnet.network import Message
+
+__all__ = ["RoundRobinOrderer"]
+
+_KIND_BLOCK = "poa-block"
+_KIND_SYNC_REQUEST = "poa-sync-request"
+
+
+class RoundRobinOrderer(ConsensusEngine):
+    """Rotating single-leader block production."""
+
+    def __init__(
+        self,
+        validators: list[str],
+        block_interval: float = 1.0,
+        max_block_txs: int = 500,
+    ):
+        super().__init__()
+        if not validators:
+            raise ValueError("need at least one validator")
+        self.validators = list(validators)
+        self.block_interval = block_interval
+        self.max_block_txs = max_block_txs
+        self._tick_scheduled = False
+        self._future_blocks: dict[int, Block] = {}
+        self._stall_ticks = 0
+        self._last_seen_height = -1
+
+    def leader_for(self, height: int) -> str:
+        return self.validators[height % len(self.validators)]
+
+    def start(self) -> None:
+        self._schedule_tick()
+
+    def _schedule_tick(self) -> None:
+        if self.stopped or self._tick_scheduled:
+            return
+        self._tick_scheduled = True
+        assert self.peer is not None
+        self.peer.sim.schedule(self.block_interval, self._tick, label=f"poa-tick:{self.peer.node_id}")
+
+    def _tick(self) -> None:
+        self._tick_scheduled = False
+        if self.stopped:
+            return
+        peer = self.peer
+        assert peer is not None
+        next_height = peer.ledger.height + 1
+        if self.leader_for(next_height) == peer.node_id and not peer.crashed:
+            self._propose(next_height)
+        self._anti_entropy(peer)
+        self._schedule_tick()
+
+    def _anti_entropy(self, peer) -> None:
+        """Stall recovery: a peer that is behind *and* is the next
+        leader deadlocks the rotation (it doesn't know it is behind).
+        If the chain hasn't advanced for two ticks while work is
+        pending, probe another validator for missed blocks."""
+        if peer.ledger.height != self._last_seen_height:
+            self._last_seen_height = peer.ledger.height
+            self._stall_ticks = 0
+            return
+        if len(peer.mempool) == 0 or peer.crashed:
+            return
+        self._stall_ticks += 1
+        if self._stall_ticks < 2:
+            return
+        others = [v for v in self.validators if v != peer.node_id]
+        if not others:
+            return
+        target = others[(self._stall_ticks + peer.ledger.height) % len(others)]
+        peer.send(target, _KIND_SYNC_REQUEST, peer.ledger.height + 1)
+
+    def _propose(self, height: int) -> None:
+        peer = self.peer
+        assert peer is not None
+        batch = peer.mempool.take(self.max_block_txs)
+        if not batch:
+            return
+        block = Block.build(
+            height=height,
+            prev_hash=peer.ledger.head.block_hash,
+            timestamp=peer.sim.now,
+            proposer=peer.node_id,
+            transactions=batch,
+        )
+        peer.broadcast(_KIND_BLOCK, block)
+        peer.commit_block(block)  # leader commits its own block immediately
+
+    def on_message(self, message: Message) -> bool:
+        peer = self.peer
+        assert peer is not None
+        if message.kind == _KIND_SYNC_REQUEST:
+            # A lagging peer asked for blocks it missed; replay from our chain.
+            start: int = message.payload
+            for height in range(start, peer.ledger.height + 1):
+                peer.send(message.src, _KIND_BLOCK, peer.ledger.block(height))
+            return True
+        if message.kind != _KIND_BLOCK:
+            return False
+        block: Block = message.payload
+        expected_leader = self.leader_for(block.height)
+        if block.proposer != expected_leader:
+            return True  # consume but ignore forged leadership claims
+        if block.height > peer.ledger.height + 1:
+            # Missed one or more blocks (e.g. dropped message): buffer this
+            # one and ask the sender to replay the gap.
+            self._future_blocks[block.height] = block
+            peer.send(message.src, _KIND_SYNC_REQUEST, peer.ledger.height + 1)
+            return True
+        if block.height == peer.ledger.height + 1:
+            peer.commit_block(block)
+            # Drain any buffered successors that are now applicable.
+            while peer.ledger.height + 1 in self._future_blocks:
+                peer.commit_block(self._future_blocks.pop(peer.ledger.height + 1))
+        return True

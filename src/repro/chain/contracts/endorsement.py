@@ -1,0 +1,75 @@
+"""Endorsement policies: who must simulate a transaction, and how many
+must agree, before it may be ordered.
+
+The platform's two-layer trust design (§V: the distribution platform
+vouches for creators, the editing platform for content) maps naturally
+onto per-contract endorsement policies — e.g. the factual-database
+contract can demand endorsement from a majority of fact-checker peers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.chain.transaction import Transaction
+from repro.errors import EndorsementError
+
+__all__ = ["EndorsementPolicy", "check_endorsements"]
+
+
+@dataclass(frozen=True)
+class EndorsementPolicy:
+    """Require *required* matching endorsements from *endorsers*.
+
+    An empty ``endorsers`` tuple means "any peer may endorse" (the
+    default policy for application contracts in a single-org deployment).
+    """
+
+    required: int = 1
+    endorsers: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.required < 1:
+            raise EndorsementError("endorsement policy must require >= 1 endorsement")
+        if self.endorsers and self.required > len(self.endorsers):
+            raise EndorsementError(
+                f"policy requires {self.required} endorsements but only "
+                f"{len(self.endorsers)} peers are eligible"
+            )
+
+    def eligible(self, peer_id: str) -> bool:
+        return not self.endorsers or peer_id in self.endorsers
+
+
+def check_endorsements(tx: Transaction, policy: EndorsementPolicy) -> None:
+    """Validate a transaction's endorsements against *policy*.
+
+    Checks: enough endorsements, each from an eligible distinct peer,
+    each signature valid, and every endorsement committing to the same
+    read/write-set digest the transaction carries (a divergent digest
+    means endorsers simulated different outcomes — the transaction must
+    not commit).
+    """
+    digest = tx.rwset_digest
+    seen: set[str] = set()
+    valid = 0
+    for endorsement in tx.endorsements:
+        if endorsement.peer_id in seen:
+            continue
+        if not policy.eligible(endorsement.peer_id):
+            continue
+        if endorsement.digest != digest:
+            raise EndorsementError(
+                f"tx {tx.tx_id[:12]}: endorser {endorsement.peer_id} signed a "
+                "different rw-set (non-deterministic execution?)"
+            )
+        if not endorsement.verify(tx.tx_id):
+            raise EndorsementError(
+                f"tx {tx.tx_id[:12]}: bad endorsement signature from {endorsement.peer_id}"
+            )
+        seen.add(endorsement.peer_id)
+        valid += 1
+    if valid < policy.required:
+        raise EndorsementError(
+            f"tx {tx.tx_id[:12]}: {valid} valid endorsements, policy requires {policy.required}"
+        )

@@ -1,0 +1,111 @@
+"""Chain explorer: human-readable views over blocks and transactions.
+
+The inspection surface a block-explorer UI would sit on: summaries of
+the chain head, any block, any transaction, and the event stream — all
+plain dicts/strings so they serialize straight into a JSON API or a
+terminal table.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.chain.block import Block
+from repro.chain.ledger import Ledger
+from repro.chain.transaction import Transaction
+
+__all__ = ["chain_summary", "describe_block", "describe_transaction", "find_transactions"]
+
+
+def chain_summary(ledger: Ledger) -> dict[str, Any]:
+    """Head-of-chain overview."""
+    head = ledger.head
+    valid = sum(1 for _ in ledger.transactions(valid_only=True))
+    total = ledger.total_transactions()
+    contracts: dict[str, int] = {}
+    for committed in ledger.transactions(valid_only=False):
+        name = committed.transaction.contract
+        contracts[name] = contracts.get(name, 0) + 1
+    return {
+        "height": ledger.height,
+        "head_hash": head.block_hash,
+        "head_timestamp": head.timestamp,
+        "blocks": len(ledger),
+        "transactions": total,
+        "valid_transactions": valid,
+        "invalid_transactions": total - valid,
+        "transactions_by_contract": dict(sorted(contracts.items())),
+    }
+
+
+def describe_block(block: Block) -> dict[str, Any]:
+    """One block's header plus transaction digest lines."""
+    return {
+        "height": block.height,
+        "hash": block.block_hash,
+        "prev_hash": block.prev_hash,
+        "merkle_root": block.merkle_root,
+        "timestamp": block.timestamp,
+        "proposer": block.proposer,
+        "tx_count": len(block),
+        "transactions": [
+            f"{tx.tx_id[:12]} {tx.contract}.{tx.method} from {tx.sender[:14]}"
+            for tx in block.transactions
+        ],
+    }
+
+
+def describe_transaction(ledger: Ledger, tx_id: str) -> dict[str, Any] | None:
+    """Full commitment record for one transaction (None if unknown)."""
+    committed = ledger.get_transaction(tx_id)
+    if committed is None:
+        return None
+    tx: Transaction = committed.transaction
+    return {
+        "tx_id": tx.tx_id,
+        "block_height": committed.block_height,
+        "index_in_block": committed.tx_index,
+        "valid": committed.valid,
+        "sender": tx.sender,
+        "contract": tx.contract,
+        "method": tx.method,
+        "args": tx.args,
+        "timestamp": tx.timestamp,
+        "reads": len(tx.read_set),
+        "writes": len(tx.write_set),
+        "events": [event.get("kind") for event in tx.events],
+        "endorsements": [e.peer_id for e in tx.endorsements],
+        "return_value": tx.return_value,
+    }
+
+
+def find_transactions(
+    ledger: Ledger,
+    contract: str | None = None,
+    method: str | None = None,
+    sender: str | None = None,
+    limit: int = 50,
+) -> list[dict[str, Any]]:
+    """Filtered transaction search, newest first."""
+    matches = []
+    for committed in reversed(list(ledger.transactions(valid_only=False))):
+        tx = committed.transaction
+        if contract is not None and tx.contract != contract:
+            continue
+        if method is not None and tx.method != method:
+            continue
+        if sender is not None and tx.sender != sender:
+            continue
+        matches.append(
+            {
+                "tx_id": tx.tx_id,
+                "block_height": committed.block_height,
+                "contract": tx.contract,
+                "method": tx.method,
+                "sender": tx.sender,
+                "valid": committed.valid,
+            }
+        )
+        if len(matches) >= limit:
+            break
+    return matches

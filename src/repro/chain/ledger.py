@@ -1,0 +1,159 @@
+"""The append-only ledger: the chain of blocks plus query indexes.
+
+Beyond storage, the ledger is the platform's *audit substrate*: the
+supply-chain graph (§VI), expert mining, and accountability experiments
+all reconstruct history by scanning committed transactions and events,
+so the ledger keeps secondary indexes by transaction id, sender, and
+contract.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+from repro.chain.block import Block, make_genesis_block
+from repro.chain.transaction import Transaction
+from repro.errors import InvalidBlockError
+
+__all__ = ["Ledger", "CommittedTx"]
+
+
+@dataclass(frozen=True)
+class CommittedTx:
+    """A transaction in its final resting place, with commit verdict."""
+
+    transaction: Transaction
+    block_height: int
+    tx_index: int
+    valid: bool  # False => failed MVCC validation, recorded but not applied
+
+
+class Ledger:
+    """One peer's copy of the chain."""
+
+    def __init__(self, genesis: Block | None = None):
+        self._blocks: list[Block] = [genesis or make_genesis_block()]
+        self._tx_locator: dict[str, tuple[int, int]] = {}
+        self._validity: dict[str, bool] = {}
+        self._by_sender: dict[str, list[str]] = defaultdict(list)
+        self._by_contract: dict[str, list[str]] = defaultdict(list)
+
+    # -- growth ------------------------------------------------------------
+
+    def append(self, block: Block, validity: list[bool]) -> None:
+        """Append a block whose per-tx validity verdicts are *validity*."""
+        head = self.head
+        if block.height != head.height + 1:
+            raise InvalidBlockError(
+                f"block height {block.height} does not extend head {head.height}"
+            )
+        if block.prev_hash != head.block_hash:
+            raise InvalidBlockError(f"block {block.height} prev_hash mismatch")
+        block.verify_structure()
+        if len(validity) != len(block.transactions):
+            raise InvalidBlockError("validity vector length mismatch")
+        self._blocks.append(block)
+        for index, tx in enumerate(block.transactions):
+            self._tx_locator[tx.tx_id] = (block.height, index)
+            self._validity[tx.tx_id] = validity[index]
+            self._by_sender[tx.sender].append(tx.tx_id)
+            self._by_contract[tx.contract].append(tx.tx_id)
+
+    # -- access ------------------------------------------------------------
+
+    @property
+    def head(self) -> Block:
+        return self._blocks[-1]
+
+    @property
+    def height(self) -> int:
+        return self.head.height
+
+    def block(self, height: int) -> Block:
+        return self._blocks[height]
+
+    def blocks(self) -> Iterator[Block]:
+        return iter(self._blocks)
+
+    def __len__(self) -> int:
+        """Number of blocks, including genesis."""
+        return len(self._blocks)
+
+    def __contains__(self, tx_id: str) -> bool:
+        return tx_id in self._tx_locator
+
+    def get_transaction(self, tx_id: str) -> CommittedTx | None:
+        locator = self._tx_locator.get(tx_id)
+        if locator is None:
+            return None
+        height, index = locator
+        return CommittedTx(
+            transaction=self._blocks[height].transactions[index],
+            block_height=height,
+            tx_index=index,
+            valid=self._validity[tx_id],
+        )
+
+    def transactions(self, valid_only: bool = True) -> Iterator[CommittedTx]:
+        """All committed transactions, in chain order."""
+        for block in self._blocks:
+            for index, tx in enumerate(block.transactions):
+                valid = self._validity[tx.tx_id]
+                if valid or not valid_only:
+                    yield CommittedTx(tx, block.height, index, valid)
+
+    def transactions_by_sender(self, sender: str) -> list[CommittedTx]:
+        found = [self.get_transaction(tx_id) for tx_id in self._by_sender.get(sender, [])]
+        return [c for c in found if c is not None]
+
+    def transactions_by_contract(self, contract: str) -> list[CommittedTx]:
+        found = [self.get_transaction(tx_id) for tx_id in self._by_contract.get(contract, [])]
+        return [c for c in found if c is not None]
+
+    def events(self, contract: str | None = None, kind: str | None = None) -> Iterator[dict[str, Any]]:
+        """All events emitted by valid transactions, optionally filtered.
+
+        Each yielded event dict is augmented with ``_tx_id``, ``_sender``
+        and ``_height`` so consumers can attribute it.
+        """
+        for committed in self.transactions(valid_only=True):
+            tx = committed.transaction
+            if contract is not None and tx.contract != contract:
+                continue
+            for event in tx.events:
+                if kind is not None and event.get("kind") != kind:
+                    continue
+                enriched = dict(event)
+                enriched["_tx_id"] = tx.tx_id
+                enriched["_sender"] = tx.sender
+                enriched["_height"] = committed.block_height
+                yield enriched
+
+    def total_transactions(self) -> int:
+        return len(self._tx_locator)
+
+    def verify_chain(self) -> bool:
+        """Full-chain audit: hashes link and every block is internally
+        consistent.  Returns True on success, raises on tampering."""
+        for prev, current in zip(self._blocks, self._blocks[1:]):
+            current.verify_structure()
+            if current.prev_hash != prev.block_hash:
+                raise InvalidBlockError(f"chain broken at height {current.height}")
+        return True
+
+    def replay_state(self):
+        """Rebuild the world state by replaying valid write sets in order.
+
+        This is how a light node bootstraps (or how an auditor checks a
+        peer): the committed chain fully determines the state, so the
+        replayed :class:`~repro.chain.state.WorldState` must produce the
+        same ``state_digest()`` as any honest peer at this height.
+        """
+        from repro.chain.state import WorldState
+
+        state = WorldState()
+        for committed in self.transactions(valid_only=True):
+            state.apply_write_set(committed.transaction.write_set)
+        return state

@@ -1,0 +1,158 @@
+"""LocalChain: a single-node, synchronous blockchain.
+
+The trusting-news platform (``repro.core``) needs ledger semantics —
+signed immutable transactions, contracts, events, auditability — but
+most experiments don't need to pay full consensus simulation for every
+article share.  ``LocalChain`` runs the identical transaction pipeline
+(sign → execute → endorse → MVCC validate → block commit) on one
+in-process peer, committing one block per invocation batch.
+
+Everything that reads the ledger (supply-chain graph construction,
+expert mining, accountability tracing) works identically against a
+LocalChain or a :class:`~repro.chain.network.BlockchainNetwork` peer,
+because both expose the same :class:`~repro.chain.ledger.Ledger`.
+E9 is the experiment where consensus latency itself is the subject, and
+it uses the networked harness.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.chain.block import Block
+from repro.chain.contracts import Contract, ContractRegistry, EndorsementPolicy, check_endorsements
+from repro.chain.ledger import Ledger
+from repro.chain.state import WorldState
+from repro.chain.transaction import Endorsement, Transaction, TxReceipt, rwset_digest
+from repro.crypto.keys import KeyPair
+from repro.errors import ContractError
+from repro.chain.consensus.sharded import ShardedExecutor
+
+__all__ = ["LocalChain"]
+
+
+class LocalChain:
+    """Synchronous single-peer chain with full transaction semantics."""
+
+    def __init__(self, node_id: str = "local-peer", seed: int = 0, n_shards: int | None = None):
+        import random
+
+        self.node_id = node_id
+        self.rng = random.Random(seed)
+        self.keypair = KeyPair.generate(self.rng)
+        self.registry = ContractRegistry()
+        self.ledger = Ledger()
+        self.state = WorldState()
+        self.sharded_executor = ShardedExecutor(n_shards) if n_shards else None
+        self._clock = 0.0
+        self._nonces: dict[str, int] = {}
+
+    # -- time --------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        return self._clock
+
+    def advance_time(self, delta: float = 1.0) -> float:
+        """Move the logical clock (transaction timestamps) forward."""
+        if delta < 0:
+            raise ValueError("time cannot go backwards")
+        self._clock += delta
+        return self._clock
+
+    # -- deployment -----------------------------------------------------------
+
+    def install_contract(self, contract: Contract, policy: EndorsementPolicy | None = None) -> str:
+        self.registry.install(contract)
+        return contract.name
+
+    def new_account(self) -> KeyPair:
+        """Mint a deterministic keypair for a participant."""
+        return KeyPair.generate(self.rng)
+
+    # -- transaction path ---------------------------------------------------------
+
+    def invoke(
+        self,
+        keypair: KeyPair,
+        contract: str,
+        method: str,
+        args: dict[str, Any] | None = None,
+    ) -> TxReceipt:
+        """Sign, execute, endorse, and commit one transaction (one block).
+
+        Contract aborts surface as :class:`ContractError`, mirroring what
+        a networked client sees at endorsement time.
+        """
+        args = args or {}
+        nonce = self._nonces.get(keypair.address, 0) + 1
+        self._nonces[keypair.address] = nonce
+        tx = Transaction.create(
+            keypair, contract, method, args, nonce=nonce, timestamp=self._clock
+        )
+        result = self.registry.execute(
+            self.state, contract, method, args,
+            caller=keypair.address, timestamp=self._clock, tx_id=tx.tx_id,
+        )
+        if not result.success:
+            raise ContractError(result.error or f"{contract}.{method} failed")
+        digest = rwset_digest(result.read_set, result.write_set)
+        endorsement = Endorsement.create(self.keypair, self.node_id, tx.tx_id, digest)
+        endorsed = tx.with_execution(
+            read_set=result.read_set,
+            write_set=result.write_set,
+            events=result.events,
+            return_value=result.return_value,
+            endorsements=(endorsement,),
+        )
+        return self._commit([endorsed])[0]
+
+    def _commit(self, txs: list[Transaction]) -> list[TxReceipt]:
+        block = Block.build(
+            height=self.ledger.height + 1,
+            prev_hash=self.ledger.head.block_hash,
+            timestamp=self._clock,
+            proposer=self.node_id,
+            transactions=txs,
+        )
+        validity: list[bool] = []
+        receipts: list[TxReceipt] = []
+        valid_txs: list[Transaction] = []
+        for tx in txs:
+            tx.validate_structure()
+            check_endorsements(tx, EndorsementPolicy(required=1))
+            fresh = self.state.validate_read_set(tx.read_set)
+            validity.append(fresh)
+            if fresh:
+                self.state.apply_write_set(tx.write_set)
+                valid_txs.append(tx)
+            receipts.append(
+                TxReceipt(
+                    tx_id=tx.tx_id,
+                    block_height=block.height,
+                    success=fresh,
+                    return_value=tx.return_value if fresh else None,
+                    events=tx.events if fresh else (),
+                    error=None if fresh else "MVCC conflict: stale read set",
+                )
+            )
+        self.ledger.append(block, validity)
+        if self.sharded_executor is not None and valid_txs:
+            self.sharded_executor.plan_block(valid_txs)
+        return receipts
+
+    def query(
+        self,
+        contract: str,
+        method: str,
+        args: dict[str, Any] | None = None,
+        caller: str = "query",
+    ) -> Any:
+        """Read-only execution; writes are discarded, nothing is committed."""
+        result = self.registry.execute(
+            self.state, contract, method, args or {},
+            caller=caller, timestamp=self._clock, tx_id="query",
+        )
+        if not result.success:
+            raise ContractError(result.error or "query failed")
+        return result.return_value

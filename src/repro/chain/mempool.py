@@ -1,0 +1,57 @@
+"""Pending-transaction pool feeding the ordering service.
+
+FIFO with dedup by transaction id.  The pool also enforces a capacity so
+scalability experiments can observe back-pressure instead of unbounded
+memory growth.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.chain.transaction import Transaction
+from repro.errors import ChainError
+
+__all__ = ["Mempool"]
+
+
+class Mempool:
+    """Ordered set of transactions awaiting inclusion in a block."""
+
+    def __init__(self, capacity: int = 100_000):
+        self._pending: OrderedDict[str, Transaction] = OrderedDict()
+        self.capacity = capacity
+        self.rejected_full = 0
+        self.rejected_duplicate = 0
+
+    def add(self, tx: Transaction) -> bool:
+        """Admit a transaction; False if duplicate or pool is full."""
+        if tx.tx_id in self._pending:
+            self.rejected_duplicate += 1
+            return False
+        if len(self._pending) >= self.capacity:
+            self.rejected_full += 1
+            return False
+        self._pending[tx.tx_id] = tx
+        return True
+
+    def take(self, max_count: int) -> list[Transaction]:
+        """Remove and return up to *max_count* transactions, FIFO."""
+        if max_count <= 0:
+            raise ChainError("max_count must be positive")
+        batch: list[Transaction] = []
+        while self._pending and len(batch) < max_count:
+            _, tx = self._pending.popitem(last=False)
+            batch.append(tx)
+        return batch
+
+    def remove(self, tx_ids: list[str]) -> None:
+        """Drop transactions that were committed via someone else's block."""
+        for tx_id in tx_ids:
+            self._pending.pop(tx_id, None)
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    def __contains__(self, tx_id: str) -> bool:
+        return tx_id in self._pending

@@ -1,0 +1,330 @@
+"""Blockchain network harness and client API.
+
+:class:`BlockchainNetwork` wires N peers onto a simulated network with a
+chosen consensus engine; :class:`ChainClient` is the application-facing
+handle that signs, endorses, and submits transactions and waits for
+receipts by advancing simulated time.
+
+Endorsement is modelled as a synchronous RPC to endorsing peers (the
+client calls ``peer.endorse`` directly).  This matches Fabric, where
+proposal simulation happens on a request/response channel outside
+consensus; the ordering and commit path — the part whose latency the
+paper's scalability question is about — runs fully through the
+simulated network.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Callable, Literal
+
+from repro.chain.consensus import PBFTEngine, RoundRobinOrderer, ShardedExecutor
+from repro.chain.contracts import Contract, ContractRegistry, EndorsementPolicy  # noqa: F401 - re-exported
+from repro.chain.peer import Peer
+from repro.chain.transaction import Transaction, TxReceipt
+from repro.crypto.keys import KeyPair
+from repro.errors import ChainError, ContractError, EndorsementError
+from repro.simnet import LatencyModel, Network, Simulator
+
+__all__ = ["BlockchainNetwork", "ChainClient"]
+
+ConsensusKind = Literal["poa", "pbft"]
+
+
+@dataclass
+class ChainClient:
+    """A signing identity bound to a :class:`BlockchainNetwork`."""
+
+    keypair: KeyPair
+    network: "BlockchainNetwork"
+    _nonce: int = 0
+
+    @property
+    def address(self) -> str:
+        return self.keypair.address
+
+    def invoke(
+        self,
+        contract: str,
+        method: str,
+        args: dict[str, Any] | None = None,
+        wait: bool = True,
+    ) -> TxReceipt | str:
+        """Endorse + submit an invocation.
+
+        With ``wait=True`` (default) the simulator is advanced until the
+        transaction commits and its receipt is returned; otherwise the
+        tx id is returned immediately for batch submission.
+        """
+        tx = self.network.endorse_transaction(self, contract, method, args or {})
+        self.network.submit(tx)
+        if not wait:
+            return tx.tx_id
+        return self.network.wait_for_receipt(tx.tx_id)
+
+    def query(self, contract: str, method: str, args: dict[str, Any] | None = None) -> Any:
+        """Read-only invocation against one peer; nothing is ordered."""
+        return self.network.query(self, contract, method, args or {})
+
+
+class BlockchainNetwork:
+    """N validating peers + consensus over a simulated network."""
+
+    def __init__(
+        self,
+        n_peers: int = 4,
+        consensus: ConsensusKind = "poa",
+        latency: LatencyModel | None = None,
+        block_interval: float = 0.5,
+        max_block_txs: int = 500,
+        seed: int = 0,
+        n_shards: int | None = None,
+        byzantine_peers: set[str] | None = None,
+        view_timeout: float = 10.0,
+        drop_probability: float = 0.0,
+    ):
+        if consensus == "pbft" and n_peers < 4:
+            raise ChainError("PBFT requires at least 4 peers")
+        self.sim = Simulator()
+        self.net = Network(self.sim, latency=latency, seed=seed, drop_probability=drop_probability)
+        self.rng = random.Random(seed + 1)
+        self.consensus = consensus
+        self.peers: list[Peer] = []
+        self._contract_factories: list[tuple[Callable[[], Contract], EndorsementPolicy | None]] = []
+        self._policies: dict[str, EndorsementPolicy] = {}
+        self.block_interval = block_interval
+        self.max_block_txs = max_block_txs
+        self.view_timeout = view_timeout
+        peer_ids = [f"peer-{i}" for i in range(n_peers)]
+        self._validator_ids = list(peer_ids)
+        byzantine_peers = byzantine_peers or set()
+        for peer_id in peer_ids:
+            registry = ContractRegistry()
+            if consensus == "poa":
+                engine: Any = RoundRobinOrderer(
+                    peer_ids, block_interval=block_interval, max_block_txs=max_block_txs
+                )
+            else:
+                engine = PBFTEngine(
+                    peer_ids,
+                    block_interval=block_interval,
+                    view_timeout=view_timeout,
+                    max_block_txs=max_block_txs,
+                )
+            executor = ShardedExecutor(n_shards) if n_shards else None
+            peer = Peer(
+                node_id=peer_id,
+                keypair=KeyPair.generate(self.rng),
+                registry=registry,
+                engine=engine,
+                sharded_executor=executor,
+                byzantine=peer_id in byzantine_peers,
+            )
+            self.net.add_node(peer)
+            self.peers.append(peer)
+        for peer in self.peers:
+            peer.engine.start()
+
+    # -- deployment -------------------------------------------------------
+
+    def install_contract(
+        self,
+        contract_factory: Callable[[], Contract],
+        policy: EndorsementPolicy | None = None,
+    ) -> str:
+        """Install a contract (one instance per peer) network-wide."""
+        self._contract_factories.append((contract_factory, policy))
+        name = ""
+        for peer in self.peers:
+            contract = contract_factory()
+            peer.registry.install(contract)
+            name = contract.name
+            if policy is not None:
+                peer.set_policy(name, policy)
+        if policy is not None:
+            self._policies[name] = policy
+        return name
+
+    def join_peer(self, node_id: str | None = None) -> Peer:
+        """Add a full node after the network is already running.
+
+        The new peer is an *observer*: it validates and commits every
+        block but is not in the validator set, so it never proposes (PoA)
+        or votes toward quorums (PBFT counts only original validators).
+        Bootstrap is snapshot-style state transfer — committed blocks are
+        replayed synchronously from the freshest live peer — after which
+        normal block dissemination keeps it current.
+        """
+        node_id = node_id or f"peer-{len(self.peers)}"
+        registry = ContractRegistry()
+        if self.consensus == "poa":
+            engine: Any = RoundRobinOrderer(
+                self._validator_ids, block_interval=self.block_interval,
+                max_block_txs=self.max_block_txs,
+            )
+        else:
+            engine = PBFTEngine(
+                self._validator_ids, block_interval=self.block_interval,
+                view_timeout=self.view_timeout, max_block_txs=self.max_block_txs,
+            )
+        peer = Peer(
+            node_id=node_id,
+            keypair=KeyPair.generate(self.rng),
+            registry=registry,
+            engine=engine,
+        )
+        for factory, policy in self._contract_factories:
+            contract = factory()
+            peer.registry.install(contract)
+            if policy is not None:
+                peer.set_policy(contract.name, policy)
+        self.net.add_node(peer)
+        self.peers.append(peer)
+        # State transfer: replay the committed chain from the freshest peer.
+        live = [p for p in self.peers if not p.crashed and p is not peer]
+        if live:
+            source = max(live, key=lambda p: p.ledger.height)
+            for height in range(1, source.ledger.height + 1):
+                peer.commit_block(source.ledger.block(height))
+        peer.engine.start()
+        return peer
+
+    def client(self, keypair: KeyPair | None = None) -> ChainClient:
+        return ChainClient(keypair=keypair or KeyPair.generate(self.rng), network=self)
+
+    # -- transaction path ----------------------------------------------------
+
+    def endorse_transaction(
+        self, client: ChainClient, contract: str, method: str, args: dict[str, Any]
+    ) -> Transaction:
+        """Build, sign, and gather endorsements for a proposal."""
+        client._nonce += 1
+        tx = Transaction.create(
+            client.keypair,
+            contract,
+            method,
+            args,
+            nonce=client._nonce,
+            timestamp=self.sim.now,
+        )
+        policy = self._policies.get(contract, EndorsementPolicy(required=1))
+        endorsements = []
+        reference = None
+        failure: str | None = None
+        for peer in self.peers:
+            outcome = peer.endorse(tx)
+            if outcome is None:
+                continue
+            endorsement, result = outcome
+            if not result.success:
+                failure = result.error
+                continue
+            if reference is None:
+                reference = result
+            if endorsement.digest == rw_digest(reference):
+                endorsements.append(endorsement)
+            if len(endorsements) >= policy.required:
+                break
+        if reference is None:
+            raise ContractError(failure or f"no peer could endorse {contract}.{method}")
+        if len(endorsements) < policy.required:
+            raise EndorsementError(
+                f"only {len(endorsements)} endorsements for {contract}.{method}, "
+                f"policy requires {policy.required}"
+            )
+        return tx.with_execution(
+            read_set=reference.read_set,
+            write_set=reference.write_set,
+            events=reference.events,
+            return_value=reference.return_value,
+            endorsements=tuple(endorsements),
+        )
+
+    def submit(self, tx: Transaction) -> None:
+        """Hand an endorsed transaction to a random peer for gossip."""
+        entry = self.rng.choice(self.peers)
+        if not entry.submit(tx):
+            # Entry peer may be crashed/full; try the others once.
+            for peer in self.peers:
+                if peer is not entry and peer.submit(tx):
+                    return
+            raise ChainError(f"no peer admitted tx {tx.tx_id[:12]}")
+
+    def query(self, client: ChainClient, contract: str, method: str, args: dict[str, Any]) -> Any:
+        """Execute read-only against the freshest live peer, discard writes."""
+        live = [p for p in self.peers if not p.crashed]
+        for peer in sorted(live, key=lambda p: p.ledger.height, reverse=True):
+            result = peer.registry.execute(
+                peer.state, contract, method, args, caller=client.address,
+                timestamp=self.sim.now, tx_id="query",
+            )
+            if not result.success:
+                raise ContractError(result.error or "query failed")
+            return result.return_value
+        raise ChainError("no live peer to query")
+
+    # -- progress ---------------------------------------------------------------
+
+    def wait_for_receipt(self, tx_id: str, timeout: float = 120.0) -> TxReceipt:
+        """Advance simulated time until *tx_id* commits on some peer."""
+        deadline = self.sim.now + timeout
+        while self.sim.now < deadline:
+            for peer in self.peers:
+                receipt = peer.receipts.get(tx_id)
+                if receipt is not None:
+                    return receipt
+            if not self.sim.step():
+                break
+        raise ChainError(f"tx {tx_id[:12]} did not commit within {timeout}s simulated")
+
+    def run_for(self, duration: float) -> None:
+        """Advance simulated time by *duration*."""
+        self.sim.run(until=self.sim.now + duration)
+
+    def stop(self) -> None:
+        """Stop all consensus engines (lets the event queue drain)."""
+        for peer in self.peers:
+            peer.engine.stop()
+
+    # -- inspection ---------------------------------------------------------------
+
+    def assert_convergence(self) -> None:
+        """Raise unless all live peers agree on chain prefix and state.
+
+        Peers may be at different heights (messages in flight); the check
+        is prefix-consistency of block hashes up to the minimum height.
+        """
+        live = [p for p in self.peers if not p.crashed]
+        min_height = min(p.ledger.height for p in live)
+        reference = live[0]
+        for peer in live[1:]:
+            for height in range(min_height + 1):
+                a = reference.ledger.block(height).block_hash
+                b = peer.ledger.block(height).block_hash
+                if a != b:
+                    raise ChainError(
+                        f"fork at height {height}: {reference.node_id} vs {peer.node_id}"
+                    )
+        # Execution determinism: peers at the same height must hold the
+        # bit-identical world state (the app-hash check).
+        by_height: dict[int, list] = {}
+        for peer in live:
+            by_height.setdefault(peer.ledger.height, []).append(peer)
+        for height, group in by_height.items():
+            digests = {p.state.state_digest() for p in group}
+            if len(digests) > 1:
+                raise ChainError(
+                    f"state divergence at height {height} among "
+                    f"{[p.node_id for p in group]}"
+                )
+
+    def committed_heights(self) -> dict[str, int]:
+        return {p.node_id: p.ledger.height for p in self.peers}
+
+
+def rw_digest(result: Any) -> str:
+    """Digest of an ExecutionResult's rw-set (endorsement comparison)."""
+    from repro.chain.transaction import rwset_digest
+
+    return rwset_digest(result.read_set, result.write_set)

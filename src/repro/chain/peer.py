@@ -1,0 +1,187 @@
+"""A validating peer: mempool + ledger + world state + contracts + consensus.
+
+The peer implements Fabric's *validate* phase at commit time: every
+transaction in a decided block is checked for (1) client signature,
+(2) endorsement policy, (3) MVCC read-set freshness; only then is its
+write set applied.  All peers run the same deterministic checks over the
+same block sequence, so their world states stay identical — asserted by
+``BlockchainNetwork.assert_convergence`` in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+from repro.chain.consensus.base import ConsensusEngine
+from repro.chain.consensus.sharded import ShardedExecutor
+from repro.chain.contracts import ContractRegistry, EndorsementPolicy, check_endorsements
+from repro.chain.contracts.runtime import ExecutionResult
+from repro.chain.block import Block
+from repro.chain.ledger import Ledger
+from repro.chain.mempool import Mempool
+from repro.chain.state import WorldState
+from repro.chain.transaction import Endorsement, Transaction, TxReceipt, rwset_digest
+from repro.crypto.keys import KeyPair
+from repro.errors import EndorsementError, InvalidTransactionError
+from repro.simnet.network import Message, NetworkNode
+
+__all__ = ["Peer", "PeerMetrics"]
+
+_KIND_TX = "tx-gossip"
+
+
+@dataclass
+class PeerMetrics:
+    """Per-peer counters the experiments read."""
+
+    txs_committed_valid: int = 0
+    txs_committed_invalid: int = 0
+    mvcc_conflicts: int = 0
+    endorsement_failures: int = 0
+    signature_failures: int = 0
+    commit_latency_total: float = 0.0
+    commit_latency_count: int = 0
+    blocks_committed: int = 0
+    commit_times: list[float] = field(default_factory=list)
+
+    @property
+    def mean_commit_latency(self) -> float:
+        if not self.commit_latency_count:
+            return 0.0
+        return self.commit_latency_total / self.commit_latency_count
+
+
+class Peer(NetworkNode):
+    """One blockchain node on the simulated network."""
+
+    def __init__(
+        self,
+        node_id: str,
+        keypair: KeyPair,
+        registry: ContractRegistry,
+        engine: ConsensusEngine,
+        default_policy: EndorsementPolicy | None = None,
+        sharded_executor: ShardedExecutor | None = None,
+        byzantine: bool = False,
+    ):
+        super().__init__(node_id)
+        self.keypair = keypair
+        self.registry = registry
+        self.engine = engine
+        self.ledger = Ledger()
+        self.state = WorldState()
+        self.mempool = Mempool()
+        self.receipts: dict[str, TxReceipt] = {}
+        self.policies: dict[str, EndorsementPolicy] = {}
+        self.default_policy = default_policy or EndorsementPolicy(required=1)
+        self.sharded_executor = sharded_executor
+        self.byzantine = byzantine
+        self.metrics = PeerMetrics()
+        engine.attach(self)
+
+    # -- configuration --------------------------------------------------------
+
+    def set_policy(self, contract: str, policy: EndorsementPolicy) -> None:
+        self.policies[contract] = policy
+
+    def policy_for(self, contract: str) -> EndorsementPolicy:
+        return self.policies.get(contract, self.default_policy)
+
+    # -- endorsement (executed on behalf of clients) ----------------------------
+
+    def endorse(self, tx: Transaction) -> tuple[Endorsement, ExecutionResult] | None:
+        """Simulate *tx* against current state and sign the rw-set.
+
+        Returns ``(endorsement, execution_result)``, or ``None`` if this
+        peer is crashed or not eligible under the contract's policy.
+        Failed executions still come back (with ``success=False`` and no
+        endorsement use) so clients can surface the contract error.
+        """
+        if self.crashed or not self.policy_for(tx.contract).eligible(self.node_id):
+            return None
+        result = self.registry.execute(
+            self.state,
+            tx.contract,
+            tx.method,
+            tx.args,
+            caller=tx.sender,
+            timestamp=tx.timestamp,
+            tx_id=tx.tx_id,
+        )
+        digest = rwset_digest(result.read_set, result.write_set)
+        endorsement = Endorsement.create(self.keypair, self.node_id, tx.tx_id, digest)
+        return endorsement, result
+
+    # -- transaction admission ---------------------------------------------------
+
+    def submit(self, tx: Transaction, gossip: bool = True) -> bool:
+        """Admit an endorsed transaction into the mempool (and gossip it)."""
+        try:
+            tx.validate_structure()
+        except InvalidTransactionError:
+            self.metrics.signature_failures += 1
+            return False
+        admitted = self.mempool.add(tx)
+        if admitted:
+            self.engine.on_transaction_admitted()
+            if gossip:
+                self.broadcast(_KIND_TX, tx)
+        return admitted
+
+    # -- commit path ----------------------------------------------------------------
+
+    def commit_block(self, block: Block) -> None:
+        """Validate and apply a decided block (the Fabric validate phase)."""
+        validity: list[bool] = []
+        valid_txs: list[Transaction] = []
+        for tx in block.transactions:
+            verdict, error = self._validate_transaction(tx)
+            validity.append(verdict)
+            receipt = TxReceipt(
+                tx_id=tx.tx_id,
+                block_height=block.height,
+                success=verdict,
+                return_value=tx.return_value if verdict else None,
+                events=tx.events if verdict else (),
+                error=error,
+            )
+            self.receipts[tx.tx_id] = receipt
+            if verdict:
+                self.state.apply_write_set(tx.write_set)
+                valid_txs.append(tx)
+                self.metrics.txs_committed_valid += 1
+                self.metrics.commit_latency_total += self.sim.now - tx.timestamp
+                self.metrics.commit_latency_count += 1
+            else:
+                self.metrics.txs_committed_invalid += 1
+        self.ledger.append(block, validity)
+        self.mempool.remove([tx.tx_id for tx in block.transactions])
+        self.metrics.blocks_committed += 1
+        self.metrics.commit_times.append(self.sim.now)
+        if self.sharded_executor is not None and valid_txs:
+            self.sharded_executor.plan_block(valid_txs)
+
+    def _validate_transaction(self, tx: Transaction) -> tuple[bool, str | None]:
+        try:
+            tx.validate_structure()
+        except InvalidTransactionError as exc:
+            self.metrics.signature_failures += 1
+            return False, str(exc)
+        try:
+            check_endorsements(tx, self.policy_for(tx.contract))
+        except EndorsementError as exc:
+            self.metrics.endorsement_failures += 1
+            return False, str(exc)
+        if not self.state.validate_read_set(tx.read_set):
+            self.metrics.mvcc_conflicts += 1
+            return False, "MVCC conflict: stale read set"
+        return True, None
+
+    # -- network ------------------------------------------------------------------------
+
+    def on_message(self, message: Message) -> None:
+        if message.kind == _KIND_TX:
+            self.submit(message.payload, gossip=False)
+            return
+        self.engine.on_message(message)

@@ -1,0 +1,142 @@
+"""Versioned world state with MVCC read-set validation.
+
+Fabric-style: every key carries the commit sequence number that last
+wrote it.  Contract execution runs against a :class:`StateSnapshot` that
+records what it read (key -> version) and buffers what it wrote; at
+commit time :meth:`WorldState.validate_read_set` rejects transactions
+whose reads went stale between endorsement and ordering.  That rejection
+rate is itself an experimental signal (the sharded executor in E9 exists
+to reduce cross-shard conflicts).
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+from repro.chain.transaction import ReadSet, WriteSet
+
+__all__ = ["WorldState", "StateSnapshot", "VersionedValue"]
+
+_ABSENT_VERSION = -1  # version reported for keys that do not exist
+
+
+@dataclass
+class VersionedValue:
+    value: Any
+    version: int
+
+
+class WorldState:
+    """The committed key-value state of one peer."""
+
+    def __init__(self) -> None:
+        self._store: dict[str, VersionedValue] = {}
+        self._commit_seq = 0
+
+    # -- reads ------------------------------------------------------------
+
+    def get(self, key: str) -> Any:
+        entry = self._store.get(key)
+        return copy.deepcopy(entry.value) if entry is not None else None
+
+    def version(self, key: str) -> int:
+        entry = self._store.get(key)
+        return entry.version if entry is not None else _ABSENT_VERSION
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._store
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def keys_with_prefix(self, prefix: str) -> Iterator[str]:
+        """Range scan by key prefix (contracts use composite keys)."""
+        for key in sorted(self._store):
+            if key.startswith(prefix):
+                yield key
+
+    # -- commit path -------------------------------------------------------
+
+    def validate_read_set(self, read_set: ReadSet) -> bool:
+        """True iff every read version still matches committed state."""
+        return all(self.version(key) == version for key, version in read_set.items())
+
+    def apply_write_set(self, write_set: WriteSet) -> int:
+        """Apply writes under a fresh commit sequence; returns it."""
+        self._commit_seq += 1
+        for key, value in write_set.items():
+            if value is None:
+                self._store.pop(key, None)
+            else:
+                self._store[key] = VersionedValue(value=copy.deepcopy(value), version=self._commit_seq)
+        return self._commit_seq
+
+    def snapshot(self) -> "StateSnapshot":
+        """Open a read-your-writes view for simulated execution."""
+        return StateSnapshot(self)
+
+    def state_digest(self) -> str:
+        """Deterministic digest of the full committed state.
+
+        The app-hash analogue: two peers that executed the same block
+        sequence produce the same digest, so convergence checks can
+        compare one string instead of walking both stores.  Versions are
+        included — state that *looks* equal but was written by different
+        commit schedules is a consensus bug worth catching.
+        """
+        from repro.crypto.hashing import hash_json
+
+        return hash_json(
+            [(key, entry.value, entry.version) for key, entry in sorted(self._store.items())]
+        )
+
+
+class StateSnapshot:
+    """Execution view: records reads, buffers writes.
+
+    Reads hit the buffered writes first (read-your-writes within one
+    transaction), then committed state, recording the committed version
+    so MVCC validation can detect staleness later.
+    """
+
+    def __init__(self, base: WorldState):
+        self._base = base
+        self.read_set: ReadSet = {}
+        self.write_buffer: WriteSet = {}
+
+    def get(self, key: str) -> Any:
+        if key in self.write_buffer:
+            value = self.write_buffer[key]
+            return copy.deepcopy(value) if value is not None else None
+        self.read_set.setdefault(key, self._base.version(key))
+        return self._base.get(key)
+
+    def put(self, key: str, value: Any) -> None:
+        if value is None:
+            raise ValueError("use delete() to remove a key; None is the deletion marker")
+        self.write_buffer[key] = copy.deepcopy(value)
+
+    def delete(self, key: str) -> None:
+        self.write_buffer[key] = None
+
+    def keys_with_prefix(self, prefix: str) -> list[str]:
+        """Prefix scan merged across committed state and buffered writes.
+
+        Every committed key returned is also recorded in the read set, so
+        a concurrent insert/delete under the prefix invalidates us only
+        if it touches keys we actually observed — matching Fabric's
+        behaviour for range queries.
+        """
+        committed = list(self._base.keys_with_prefix(prefix))
+        for key in committed:
+            self.read_set.setdefault(key, self._base.version(key))
+        merged = set(committed)
+        for key, value in self.write_buffer.items():
+            if key.startswith(prefix):
+                if value is None:
+                    merged.discard(key)
+                else:
+                    merged.add(key)
+        return sorted(merged)

@@ -1,0 +1,184 @@
+"""Signed transactions and their lifecycle artifacts.
+
+The chain follows Hyperledger Fabric's *execute–order–validate* model,
+which the paper's platform builds on (its refs [45], [54]):
+
+1. A client signs a **proposal** (contract, method, args).
+2. Endorsing peers *execute* it against their current state, producing a
+   read set (keys + versions) and a write set; they sign the result.
+3. The ordering service batches endorsed transactions into blocks.
+4. Every peer *validates* each transaction's read set against current
+   state versions (MVCC) and applies the write set only if it is fresh.
+
+The transaction id is the hash of the proposal alone, so a transaction
+is identifiable before endorsement and the id cannot be changed by a
+malicious endorser.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+from repro.crypto.hashing import hash_json, sha256_hex
+from repro.crypto.keys import KeyPair, address_from_public_key, verify_signature
+from repro.errors import InvalidTransactionError
+
+__all__ = ["Transaction", "Endorsement", "ReadSet", "WriteSet", "TxReceipt"]
+
+# A read set maps key -> version observed during simulated execution.
+ReadSet = dict[str, int]
+# A write set maps key -> new value (None encodes deletion).
+WriteSet = dict[str, Any]
+
+
+def _proposal_payload(
+    sender: str, contract: str, method: str, args: dict[str, Any], nonce: int, timestamp: float
+) -> bytes:
+    body = {
+        "sender": sender,
+        "contract": contract,
+        "method": method,
+        "args": args,
+        "nonce": nonce,
+        "timestamp": timestamp,
+    }
+    return json.dumps(body, sort_keys=True, separators=(",", ":"), default=str).encode("utf-8")
+
+
+def rwset_digest(read_set: ReadSet, write_set: WriteSet) -> str:
+    """Digest endorsers sign: commits them to one simulated execution."""
+    return hash_json({"reads": read_set, "writes": write_set})
+
+
+@dataclass(frozen=True)
+class Endorsement:
+    """One endorsing peer's signature over (tx_id, rw-set digest)."""
+
+    peer_id: str
+    public_key_hex: str
+    digest: str
+    signature_hex: str
+
+    def verify(self, tx_id: str) -> bool:
+        message = f"{tx_id}:{self.digest}".encode("utf-8")
+        try:
+            public_key = bytes.fromhex(self.public_key_hex)
+            signature = bytes.fromhex(self.signature_hex)
+        except ValueError:
+            return False
+        return verify_signature(public_key, message, signature)
+
+    @classmethod
+    def create(cls, keypair: KeyPair, peer_id: str, tx_id: str, digest: str) -> "Endorsement":
+        message = f"{tx_id}:{digest}".encode("utf-8")
+        return cls(
+            peer_id=peer_id,
+            public_key_hex=keypair.public_key.hex(),
+            digest=digest,
+            signature_hex=keypair.sign(message).hex(),
+        )
+
+
+@dataclass(frozen=True)
+class Transaction:
+    """A signed contract invocation, optionally carrying endorsements."""
+
+    sender: str
+    public_key_hex: str
+    contract: str
+    method: str
+    args: dict[str, Any]
+    nonce: int
+    timestamp: float
+    signature_hex: str
+    tx_id: str
+    read_set: ReadSet = field(default_factory=dict)
+    write_set: WriteSet = field(default_factory=dict)
+    endorsements: tuple[Endorsement, ...] = ()
+    events: tuple[dict[str, Any], ...] = ()
+    return_value: Any = None
+
+    @classmethod
+    def create(
+        cls,
+        keypair: KeyPair,
+        contract: str,
+        method: str,
+        args: dict[str, Any] | None = None,
+        nonce: int = 0,
+        timestamp: float = 0.0,
+    ) -> "Transaction":
+        """Build and sign a proposal (steps before endorsement)."""
+        args = args or {}
+        payload = _proposal_payload(keypair.address, contract, method, args, nonce, timestamp)
+        return cls(
+            sender=keypair.address,
+            public_key_hex=keypair.public_key.hex(),
+            contract=contract,
+            method=method,
+            args=args,
+            nonce=nonce,
+            timestamp=timestamp,
+            signature_hex=keypair.sign(payload).hex(),
+            tx_id=sha256_hex(payload),
+        )
+
+    def verify_signature(self) -> bool:
+        """Check the client signature and that sender matches the key."""
+        try:
+            public_key = bytes.fromhex(self.public_key_hex)
+            signature = bytes.fromhex(self.signature_hex)
+        except ValueError:
+            return False
+        if address_from_public_key(public_key) != self.sender:
+            return False
+        payload = _proposal_payload(
+            self.sender, self.contract, self.method, self.args, self.nonce, self.timestamp
+        )
+        if sha256_hex(payload) != self.tx_id:
+            return False
+        return verify_signature(public_key, payload, signature)
+
+    def validate_structure(self) -> None:
+        """Raise :class:`InvalidTransactionError` on a malformed tx."""
+        if not self.contract or not self.method:
+            raise InvalidTransactionError("transaction must name a contract and method")
+        if not self.verify_signature():
+            raise InvalidTransactionError(f"bad signature on tx {self.tx_id[:12]}")
+
+    def with_execution(
+        self,
+        read_set: ReadSet,
+        write_set: WriteSet,
+        events: tuple[dict[str, Any], ...],
+        return_value: Any,
+        endorsements: tuple[Endorsement, ...],
+    ) -> "Transaction":
+        """Attach simulated-execution results (endorsement phase)."""
+        return replace(
+            self,
+            read_set=dict(read_set),
+            write_set=dict(write_set),
+            events=events,
+            return_value=return_value,
+            endorsements=endorsements,
+        )
+
+    @property
+    def rwset_digest(self) -> str:
+        return rwset_digest(self.read_set, self.write_set)
+
+
+@dataclass(frozen=True)
+class TxReceipt:
+    """What a client gets back after its transaction reaches a block."""
+
+    tx_id: str
+    block_height: int
+    success: bool
+    return_value: Any = None
+    events: tuple[dict[str, Any], ...] = ()
+    error: str | None = None
+    gas_used: int = 0

@@ -1,0 +1,170 @@
+"""Command-line interface: drive the platform without writing code.
+
+Installed as the ``repro-news`` console script::
+
+    repro-news demo quickstart          # run a packaged scenario
+    repro-news corpus --out news.jsonl  # generate a labeled corpus
+    repro-news race --trials 10         # fake-vs-factual race summary
+    repro-news stats                    # build a world and print analytics
+
+Each subcommand is a thin wrapper over the public API, so the CLI doubles
+as living documentation of the library's entry points.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-news",
+        description="AI blockchain platform for trusting news (ICDCS 2019 reproduction)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    demo = subparsers.add_parser("demo", help="run a packaged example scenario")
+    demo.add_argument(
+        "scenario",
+        choices=("quickstart", "newsroom", "election", "experts"),
+        help="which scenario to run",
+    )
+
+    corpus = subparsers.add_parser("corpus", help="generate a labeled news corpus (JSONL)")
+    corpus.add_argument("--out", required=True, help="output JSONL path")
+    corpus.add_argument("--factual", type=int, default=200, help="factual article count")
+    corpus.add_argument("--fake", type=int, default=200, help="fake article count")
+    corpus.add_argument("--seed", type=int, default=0)
+    corpus.add_argument(
+        "--mutated-fraction", type=float, default=0.723,
+        help="share of fakes derived from factual parents (paper: 0.723)",
+    )
+
+    race = subparsers.add_parser("race", help="fake-vs-factual propagation race")
+    race.add_argument("--trials", type=int, default=10)
+    race.add_argument("--agents", type=int, default=400)
+    race.add_argument("--seed", type=int, default=0)
+
+    subparsers.add_parser("stats", help="build a demo world and print ledger analytics")
+    return parser
+
+
+_DEMO_FILES = {
+    "quickstart": "quickstart.py",
+    "newsroom": "newsroom_workflow.py",
+    "election": "election_misinformation.py",
+    "experts": "expert_discovery.py",
+}
+
+
+def _run_demo(scenario: str) -> int:
+    """Locate and run a packaged example script.
+
+    Examples live in the repository's ``examples/`` directory (they are
+    documentation, not package modules), so look relative to the current
+    directory and to the repository root above this file.
+    """
+    import pathlib
+    import runpy
+
+    filename = _DEMO_FILES[scenario]
+    candidates = [
+        pathlib.Path.cwd() / "examples" / filename,
+        pathlib.Path(__file__).resolve().parents[2] / "examples" / filename,
+    ]
+    for candidate in candidates:
+        if candidate.exists():
+            namespace = runpy.run_path(str(candidate))
+            namespace["main"]()
+            return 0
+    print(f"could not find examples/{filename}; run from the repository root",
+          file=sys.stderr)
+    return 1
+
+
+def _run_corpus(args: argparse.Namespace) -> int:
+    from repro.corpus import CorpusGenerator
+    from repro.corpus.io import save_corpus
+
+    generator = CorpusGenerator(seed=args.seed)
+    corpus = generator.labeled_corpus(
+        n_factual=args.factual, n_fake=args.fake,
+        mutated_fake_fraction=args.mutated_fraction,
+    )
+    written = save_corpus(corpus, args.out)
+    print(f"wrote {written} articles ({len(corpus.fakes)} fake / "
+          f"{len(corpus.factual)} factual) to {args.out}")
+    return 0
+
+
+def _run_race(args: argparse.Namespace) -> int:
+    from repro.social import run_races
+
+    baseline = run_races(n_trials=args.trials, n_agents=args.agents,
+                         seed=args.seed, intervene=False)
+    treated = run_races(n_trials=args.trials, n_agents=args.agents,
+                        seed=args.seed, intervene=True)
+    print(f"{'regime':<14} {'factual':>9} {'fake':>9} {'advantage':>10}")
+    for name, summary in (("no platform", baseline), ("with platform", treated)):
+        print(f"{name:<14} {summary.mean_factual:>9.1f} {summary.mean_fake:>9.1f} "
+              f"{summary.fake_advantage:>9.2f}x")
+    return 0
+
+
+def _run_stats() -> int:
+    import random
+
+    from repro.core import TrustingNewsPlatform, account_report, topic_statistics
+    from repro.corpus import CorpusGenerator
+    from repro.social import CascadeRunner, bind_agents, make_population, scale_free_follow_graph
+
+    platform = TrustingNewsPlatform(seed=77)
+    graph = scale_free_follow_graph(200, seed=77)
+    agents = make_population(200, random.Random(77))
+    bind_agents(graph, agents)
+    corpus = CorpusGenerator(seed=78)
+    fact = corpus.factual(topic="politics")
+    platform.seed_fact("f-demo", fact.text, "public-record", "politics")
+    seed_share = corpus.relay_derivation(fact, "agent-00000", 0.0)
+
+    class _Seed:
+        agent_id = "agent-00000"
+        parent_article_id = ""
+        op = "relay"
+
+    platform.ingest_share(_Seed(), seed_share, topic="politics")
+    runner = CascadeRunner(
+        graph, corpus,
+        on_share=lambda event, article: platform.ingest_share(event, article, topic="politics"),
+    )
+    hub = max(graph.nodes(), key=lambda n: graph.out_degree(n))
+    runner.run([(hub, seed_share)], n_rounds=6)
+    print("topic statistics:")
+    for stat in topic_statistics(platform.graph):
+        print(f"  {stat.as_row()}")
+    report = account_report(platform.graph, platform.address_of("agent-00000"))
+    print(f"seed account: articles={report.articles} traceable={report.traceable_share:.0%} "
+          f"descendants={report.descendants}")
+    print("platform stats:", platform.stats())
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "demo":
+        return _run_demo(args.scenario)
+    if args.command == "corpus":
+        return _run_corpus(args)
+    if args.command == "race":
+        return _run_race(args)
+    if args.command == "stats":
+        return _run_stats()
+    return 2  # unreachable: argparse enforces the choices
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,230 @@
+"""The trusting-news ecosystem economy — contribution (4), Fig. 2.
+
+Five roles interact: news consumers, content creators, fact checkers,
+fake-news-detection AI developers, and media publishers.  The paper's
+design: economic incentives "reward individuals for flagging behaviors
+that do not meet the standards" and an app-store-like economy rewards
+ethical tool developers.
+
+:class:`TokenContract` is the on-chain settlement layer;
+:class:`EcosystemSimulator` runs the round-based economy at experiment
+scale (agent counts that would be silly to sign individual transactions
+for) and reports who earns what — the E2 result is that honest behaviour
+dominates dishonest behaviour in expectation, i.e. the incentive design
+is compatible with the platform's goal.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.chain.contracts import Contract, ContractContext, contract_method
+
+__all__ = ["TokenContract", "EcosystemParams", "EcosystemAgent", "EcosystemSimulator"]
+
+
+def balance_key(address: str) -> str:
+    return f"bal:{address}"
+
+
+class TokenContract(Contract):
+    """Minimal fungible token: mint (root only), transfer, burn."""
+
+    name = "token"
+
+    @contract_method
+    def mint(self, ctx: ContractContext, to: str, amount: int):
+        """Mint new tokens; first minter becomes the economy root."""
+        ctx.require(amount > 0, "amount must be positive")
+        root = ctx.get("token-root")
+        if root is None:
+            ctx.put("token-root", ctx.caller)
+        else:
+            ctx.require(ctx.caller == root, "only the token root may mint")
+        balance = ctx.get(balance_key(to)) or 0
+        ctx.put(balance_key(to), balance + amount)
+        ctx.emit("minted", to=to, amount=amount)
+        return balance + amount
+
+    @contract_method
+    def transfer(self, ctx: ContractContext, to: str, amount: int):
+        ctx.require(amount > 0, "amount must be positive")
+        sender_balance = ctx.get(balance_key(ctx.caller)) or 0
+        ctx.require(sender_balance >= amount, "insufficient balance")
+        ctx.put(balance_key(ctx.caller), sender_balance - amount)
+        recipient_balance = ctx.get(balance_key(to)) or 0
+        ctx.put(balance_key(to), recipient_balance + amount)
+        ctx.emit("transferred", frm=ctx.caller, to=to, amount=amount)
+        return True
+
+    @contract_method
+    def balance_of(self, ctx: ContractContext, address: str):
+        return ctx.get(balance_key(address)) or 0
+
+
+@dataclass(frozen=True)
+class EcosystemParams:
+    """Tunable economics of one platform round."""
+
+    consumption_fee: float = 1.0  # what a consumer pays per article read
+    creator_share: float = 0.5  # of fees, to the article's creator
+    checker_share: float = 0.2  # of fees, split across correct checkers
+    developer_share: float = 0.1  # of fees, to AI tool developers
+    publisher_share: float = 0.2  # of fees, to the hosting publisher
+    panel_size: int = 5  # checkers sampled per article
+    false_flag_penalty: float = 0.1  # checker slash for a wrong verdict
+    fake_detection_bonus: float = 2.0  # bounty for flagging a real fake
+    fake_caught_penalty: float = 3.0  # creator slash when their fake is caught
+    detection_rate: float = 0.85  # platform's chance of catching a fake
+
+
+@dataclass
+class EcosystemAgent:
+    """One economy participant."""
+
+    agent_id: str
+    role: str  # consumer | creator | checker | developer | publisher
+    honest: bool
+    balance: float = 0.0
+    accuracy: float = 0.85  # checkers: verdict accuracy
+
+    def earn(self, amount: float) -> None:
+        self.balance += amount
+
+    def pay(self, amount: float) -> None:
+        self.balance -= amount
+
+
+class EcosystemSimulator:
+    """Round-based economy over the five ecosystem roles."""
+
+    def __init__(self, agents: list[EcosystemAgent], params: EcosystemParams | None = None, seed: int = 0):
+        self.agents = agents
+        self.params = params or EcosystemParams()
+        self.rng = random.Random(seed)
+        self.round_log: list[dict[str, float]] = []
+
+    @classmethod
+    def generate(
+        cls,
+        n_agents: int = 300,
+        seed: int = 0,
+        dishonest_fraction: float = 0.2,
+        role_mix: dict[str, float] | None = None,
+    ) -> "EcosystemSimulator":
+        role_mix = role_mix or {
+            "consumer": 0.55,
+            "creator": 0.2,
+            "checker": 0.15,
+            "developer": 0.04,
+            "publisher": 0.06,
+        }
+        rng = random.Random(seed)
+        roles: list[str] = []
+        for role, fraction in role_mix.items():
+            roles.extend([role] * round(n_agents * fraction))
+        while len(roles) < n_agents:
+            roles.append("consumer")
+        rng.shuffle(roles)
+        agents = [
+            EcosystemAgent(
+                agent_id=f"eco-{index:04d}",
+                role=role,
+                honest=rng.random() > dishonest_fraction,
+                accuracy=rng.uniform(0.75, 0.95),
+            )
+            for index, role in enumerate(roles[:n_agents])
+        ]
+        return cls(agents, seed=seed + 1)
+
+    def _by_role(self, role: str) -> list[EcosystemAgent]:
+        return [a for a in self.agents if a.role == role]
+
+    def run_round(self) -> dict[str, float]:
+        """One platform round: publish, check, consume, settle.
+
+        Per creator: publish one article (dishonest creators publish
+        fakes).  Checkers vote; the platform verdict (detection_rate
+        accurate on fakes) drives settlement.  Consumers read and pay
+        fees on articles the platform surfaced as trustworthy.
+        """
+        params = self.params
+        creators = self._by_role("creator")
+        checkers = self._by_role("checker")
+        consumers = self._by_role("consumer")
+        developers = self._by_role("developer")
+        publishers = self._by_role("publisher")
+        flows = {"fees": 0.0, "bounties": 0.0, "penalties": 0.0}
+        for creator in creators:
+            is_fake = not creator.honest
+            caught = is_fake and self.rng.random() < params.detection_rate
+            # Checkers vote on the article; correct ones share the bounty
+            # (for fakes) or the checker fee pool (for factual articles).
+            panel = (
+                self.rng.sample(checkers, min(params.panel_size, len(checkers)))
+                if checkers
+                else []
+            )
+            correct_checkers = []
+            wrong_checkers = []
+            for checker in panel:
+                correct_verdict = self.rng.random() < checker.accuracy
+                votes_fake = is_fake if correct_verdict else not is_fake
+                if not checker.honest:
+                    votes_fake = False  # colluding checkers whitewash everything
+                if votes_fake == is_fake:
+                    correct_checkers.append(checker)
+                else:
+                    wrong_checkers.append(checker)
+                    if votes_fake and not is_fake:
+                        checker.pay(params.false_flag_penalty)
+                        flows["penalties"] += params.false_flag_penalty
+            if caught:
+                creator.pay(params.fake_caught_penalty)
+                flows["penalties"] += params.fake_caught_penalty
+                # Checkers who whitewashed a caught fake answer for it —
+                # the accountability that makes collusion unprofitable.
+                for checker in wrong_checkers:
+                    checker.pay(params.false_flag_penalty)
+                    flows["penalties"] += params.false_flag_penalty
+                bounty_each = params.fake_detection_bonus / max(1, len(correct_checkers))
+                for checker in correct_checkers:
+                    checker.earn(bounty_each)
+                    flows["bounties"] += bounty_each
+                continue  # caught fakes earn nothing downstream
+            # Article is surfaced; a sample of consumers reads it.
+            n_readers = max(1, len(consumers) // max(1, len(creators)))
+            readers = self.rng.sample(consumers, min(n_readers, len(consumers)))
+            fee_pool = params.consumption_fee * len(readers)
+            for reader in readers:
+                reader.pay(params.consumption_fee)
+            flows["fees"] += fee_pool
+            creator.earn(fee_pool * params.creator_share)
+            checker_pool = fee_pool * params.checker_share
+            for checker in correct_checkers or panel:
+                checker.earn(checker_pool / max(1, len(correct_checkers or panel)))
+            if developers:
+                for developer in developers:
+                    developer.earn(fee_pool * params.developer_share / len(developers))
+            if publishers:
+                host = self.rng.choice(publishers)
+                host.earn(fee_pool * params.publisher_share)
+        self.round_log.append(flows)
+        return flows
+
+    def run(self, n_rounds: int = 30) -> None:
+        for _ in range(n_rounds):
+            self.run_round()
+
+    def earnings_by(self, role: str | None = None) -> dict[str, float]:
+        """Mean balance grouped by honesty (optionally within a role)."""
+        groups: dict[str, list[float]] = {"honest": [], "dishonest": []}
+        for agent in self.agents:
+            if role is not None and agent.role != role:
+                continue
+            groups["honest" if agent.honest else "dishonest"].append(agent.balance)
+        return {
+            key: (sum(values) / len(values) if values else 0.0)
+            for key, values in groups.items()
+        }

@@ -1,0 +1,104 @@
+"""Factualness ranking: fusing provenance, AI, and crowd signals.
+
+The paper's ranking mechanism (§V–§VI) combines three independent
+assessments of an article:
+
+- **provenance** — trace distance / accumulated modification back to
+  the factual database (0 if untraceable),
+- **AI** — 1 − P(fake) from the text/media models,
+- **crowd** — the weighted factual share of on-chain validator votes.
+
+:class:`FactualnessRanker` exposes each signal alone (the paper's
+implicit baselines; E6's ablation) and the hybrid fusion the platform
+actually uses.  Scores live in [0, 1]; higher = more trustworthy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ReproError
+
+__all__ = ["RankingWeights", "ArticleSignals", "RankedArticle", "FactualnessRanker"]
+
+
+@dataclass(frozen=True)
+class RankingWeights:
+    """Relative weights of the three signals in the hybrid score."""
+
+    provenance: float = 0.4
+    ai: float = 0.35
+    crowd: float = 0.25
+
+    def __post_init__(self) -> None:
+        if min(self.provenance, self.ai, self.crowd) < 0:
+            raise ReproError("ranking weights must be non-negative")
+        if self.provenance + self.ai + self.crowd <= 0:
+            raise ReproError("at least one ranking weight must be positive")
+
+
+@dataclass(frozen=True)
+class ArticleSignals:
+    """The raw signals for one article, each in [0, 1] (None = missing)."""
+
+    article_id: str
+    provenance_score: float | None = None
+    ai_score: float | None = None  # 1 - P(fake)
+    crowd_score: float | None = None  # weighted factual share
+
+
+@dataclass(frozen=True)
+class RankedArticle:
+    article_id: str
+    score: float
+    provenance_score: float | None
+    ai_score: float | None
+    crowd_score: float | None
+
+
+class FactualnessRanker:
+    """Combines per-article signals into a factualness score."""
+
+    def __init__(self, weights: RankingWeights | None = None):
+        self.weights = weights or RankingWeights()
+
+    def score(self, signals: ArticleSignals, mode: str = "hybrid") -> float:
+        """Score one article.
+
+        Modes: ``hybrid`` (weighted fusion over available signals),
+        ``provenance`` / ``ai`` / ``crowd`` (single signal; a missing
+        single signal scores a neutral 0.5).
+        """
+        if mode == "provenance":
+            return signals.provenance_score if signals.provenance_score is not None else 0.5
+        if mode == "ai":
+            return signals.ai_score if signals.ai_score is not None else 0.5
+        if mode == "crowd":
+            return signals.crowd_score if signals.crowd_score is not None else 0.5
+        if mode != "hybrid":
+            raise ReproError(f"unknown ranking mode {mode!r}")
+        parts = [
+            (self.weights.provenance, signals.provenance_score),
+            (self.weights.ai, signals.ai_score),
+            (self.weights.crowd, signals.crowd_score),
+        ]
+        available = [(w, s) for w, s in parts if s is not None and w > 0]
+        if not available:
+            return 0.5
+        total_weight = sum(w for w, _ in available)
+        return sum(w * s for w, s in available) / total_weight
+
+    def rank(self, all_signals: list[ArticleSignals], mode: str = "hybrid") -> list[RankedArticle]:
+        """Rank articles, most trustworthy first (stable by id on ties)."""
+        ranked = [
+            RankedArticle(
+                article_id=s.article_id,
+                score=self.score(s, mode=mode),
+                provenance_score=s.provenance_score,
+                ai_score=s.ai_score,
+                crowd_score=s.crowd_score,
+            )
+            for s in all_signals
+        ]
+        ranked.sort(key=lambda r: (-r.score, r.article_id))
+        return ranked

@@ -1,0 +1,61 @@
+"""Synthetic news corpus with ground-truth provenance.
+
+Replaces the paper's (unavailable) public news datasets with articles
+whose fake/factual labels, derivation parents, and modification degrees
+are known *by construction* — calibrated to the paper's cited statistic
+that 72.3 % of fake news is modified factual news.
+"""
+
+from repro.corpus.articles import (
+    FAKE_DISTORTION_THRESHOLD,
+    Article,
+    make_fabricated_article,
+    make_factual_article,
+)
+from repro.corpus.generator import PAPER_MUTATED_FAKE_FRACTION, CorpusGenerator, LabeledCorpus
+from repro.corpus.lexicon import tokenize
+from repro.corpus.mutations import (
+    MUTATION_OPS,
+    distort,
+    insert,
+    measured_change,
+    merge,
+    mix,
+    relay,
+    split,
+)
+from repro.corpus.similarity import (
+    cosine_similarity,
+    estimated_jaccard,
+    jaccard,
+    minhash_signature,
+    shingles,
+)
+from repro.corpus.topics import TOPICS, Topic, topic_by_name
+
+__all__ = [
+    "FAKE_DISTORTION_THRESHOLD",
+    "Article",
+    "make_fabricated_article",
+    "make_factual_article",
+    "PAPER_MUTATED_FAKE_FRACTION",
+    "CorpusGenerator",
+    "LabeledCorpus",
+    "tokenize",
+    "MUTATION_OPS",
+    "distort",
+    "insert",
+    "measured_change",
+    "merge",
+    "mix",
+    "relay",
+    "split",
+    "cosine_similarity",
+    "estimated_jaccard",
+    "jaccard",
+    "minhash_signature",
+    "shingles",
+    "TOPICS",
+    "Topic",
+    "topic_by_name",
+]

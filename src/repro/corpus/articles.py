@@ -1,0 +1,168 @@
+"""Article model and factual/fabricated article synthesis.
+
+An :class:`Article` carries its full provenance ground truth: which
+articles it was derived from, by which operation, how many tokens that
+operation changed (*modification degree*, measured), and how much
+semantic damage it did (*distortion*, assigned by the operation's
+nature).  The platform never reads the ground-truth fields — they exist
+so experiments can score the platform's inferences against reality.
+
+Fake/factual labelling follows the paper's framing: an article is
+*factual* if the things it states actually happened in the synthetic
+universe.  Fabricated articles and heavily distorted derivations are
+fake; faithful relays, quotes, and aggregations of factual articles
+remain factual.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, replace
+
+from repro.corpus.lexicon import (
+    CLICKBAIT_PHRASES,
+    CONNECTIVES,
+    EMOTIONAL_WORDS,
+    HEDGE_WORDS,
+    NEUTRAL_VERBS,
+    REPORTING_VERBS,
+    tokenize,
+)
+from repro.corpus.topics import Topic
+
+__all__ = ["Article", "FAKE_DISTORTION_THRESHOLD", "make_factual_article", "make_fabricated_article"]
+
+# An article whose cumulative distortion passes this threshold no longer
+# reports what actually happened — it is fake by ground truth.
+FAKE_DISTORTION_THRESHOLD = 0.25
+
+
+@dataclass(frozen=True)
+class Article:
+    """One news item plus its ground-truth provenance."""
+
+    article_id: str
+    topic: str
+    text: str
+    author: str
+    timestamp: float
+    parents: tuple[str, ...] = ()
+    op: str = "original"
+    modification_degree: float = 0.0
+    distortion: float = 0.0
+    cumulative_distortion: float = 0.0
+    fabricated: bool = False
+
+    @property
+    def label_fake(self) -> bool:
+        """Ground-truth label used to score classifiers and rankers."""
+        return self.fabricated or self.cumulative_distortion > FAKE_DISTORTION_THRESHOLD
+
+    @property
+    def sentences(self) -> list[str]:
+        return [s.strip() for s in self.text.split(".") if s.strip()]
+
+    @property
+    def tokens(self) -> list[str]:
+        return tokenize(self.text)
+
+    def with_id(self, article_id: str) -> "Article":
+        return replace(self, article_id=article_id)
+
+
+def _date_phrase(rng: random.Random) -> str:
+    month = rng.choice(
+        ["january", "february", "march", "april", "may", "june", "july",
+         "august", "september", "october", "november", "december"]
+    )
+    return f"{month} {rng.randint(1, 28)}"
+
+
+def _factual_sentence(topic: Topic, rng: random.Random) -> str:
+    """One neutral, attribution-heavy reporting sentence."""
+    template = rng.randrange(5)
+    entity = rng.choice(topic.entities)
+    verb = rng.choice(NEUTRAL_VERBS)
+    obj = rng.choice(topic.objects)
+    place = rng.choice(topic.places)
+    noun_a, noun_b = rng.sample(list(topic.nouns), 2)
+    if template == 0:
+        return f"{entity} {verb} {obj} at {place} on {_date_phrase(rng)}"
+    if template == 1:
+        reporter = rng.choice(REPORTING_VERBS)
+        return f"the decision affects the {noun_a} and the {noun_b}, {reporter} {entity}"
+    if template == 2:
+        figure = rng.randint(2, 97)
+        return f"official figures put the {noun_a} at {figure} percent for the period"
+    if template == 3:
+        connective = rng.choice(CONNECTIVES)
+        return f"{connective}, {entity} {verb} a review of the {noun_a} at {place}"
+    second = rng.choice([e for e in topic.entities if e != entity])
+    return f"{entity} and {second} {verb} the joint {noun_a} agreement covering {obj}"
+
+
+def _sensational_sentence(topic: Topic, rng: random.Random) -> str:
+    """One emotionally loaded, unattributed sentence."""
+    template = rng.randrange(4)
+    entity = rng.choice(topic.entities)
+    emotion = rng.choice(EMOTIONAL_WORDS)
+    noun = rng.choice(topic.nouns)
+    hedge = rng.choice(HEDGE_WORDS)
+    if template == 0:
+        return f"{hedge} the {emotion} truth about {entity} and the {noun} is finally out"
+    if template == 1:
+        return f"this {emotion} {noun} {rng.choice(['scandal', 'coverup', 'disaster'])} will destroy {entity}"
+    if template == 2:
+        return rng.choice(CLICKBAIT_PHRASES)
+    return f"{entity} caught in {emotion} {noun} plot, insiders {rng.choice(['panic', 'flee', 'scramble'])}"
+
+
+def make_factual_article(
+    topic: Topic,
+    author: str,
+    timestamp: float,
+    rng: random.Random,
+    n_sentences: int = 6,
+) -> Article:
+    """Synthesize a factual seed article (neutral register, attributed)."""
+    sentences = [_factual_sentence(topic, rng) for _ in range(n_sentences)]
+    return Article(
+        article_id="",
+        topic=topic.name,
+        text=". ".join(sentences) + ".",
+        author=author,
+        timestamp=timestamp,
+        op="original",
+    )
+
+
+def make_fabricated_article(
+    topic: Topic,
+    author: str,
+    timestamp: float,
+    rng: random.Random,
+    n_sentences: int = 6,
+) -> Article:
+    """Synthesize a from-whole-cloth fake (the non-mutated 27.7%).
+
+    Fabrications mimic news structure but lean on the emotional and
+    clickbait registers, with a few neutral sentences mixed in so the
+    classification task is not trivially separable.
+    """
+    sentences = []
+    for _ in range(n_sentences):
+        if rng.random() < 0.65:
+            sentences.append(_sensational_sentence(topic, rng))
+        else:
+            sentences.append(_factual_sentence(topic, rng))
+    return Article(
+        article_id="",
+        topic=topic.name,
+        text=". ".join(sentences) + ".",
+        author=author,
+        timestamp=timestamp,
+        op="fabricate",
+        distortion=1.0,
+        cumulative_distortion=1.0,
+        fabricated=True,
+    )

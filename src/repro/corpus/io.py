@@ -1,0 +1,71 @@
+"""Corpus serialization: JSONL save/load with full ground truth.
+
+Lets downstream users persist generated datasets (and their provenance
+ground truth) and reload them for independent evaluation, instead of
+re-deriving everything from seeds.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import pathlib
+
+from repro.corpus.articles import Article
+from repro.corpus.generator import LabeledCorpus
+from repro.errors import CorpusError
+
+__all__ = ["article_to_dict", "article_from_dict", "save_corpus", "load_corpus"]
+
+
+def article_to_dict(article: Article) -> dict:
+    """Article -> JSON-serializable dict (parents become a list)."""
+    record = dataclasses.asdict(article)
+    record["parents"] = list(article.parents)
+    return record
+
+
+def article_from_dict(record: dict) -> Article:
+    """Inverse of :func:`article_to_dict`; validates required fields."""
+    try:
+        return Article(
+            article_id=record["article_id"],
+            topic=record["topic"],
+            text=record["text"],
+            author=record["author"],
+            timestamp=float(record["timestamp"]),
+            parents=tuple(record.get("parents", ())),
+            op=record.get("op", "original"),
+            modification_degree=float(record.get("modification_degree", 0.0)),
+            distortion=float(record.get("distortion", 0.0)),
+            cumulative_distortion=float(record.get("cumulative_distortion", 0.0)),
+            fabricated=bool(record.get("fabricated", False)),
+        )
+    except KeyError as exc:
+        raise CorpusError(f"article record missing field {exc}") from None
+
+
+def save_corpus(corpus: LabeledCorpus, path: str | pathlib.Path) -> int:
+    """Write a corpus as JSONL; returns the number of articles written."""
+    path = pathlib.Path(path)
+    with path.open("w", encoding="utf-8") as handle:
+        for article in corpus:
+            handle.write(json.dumps(article_to_dict(article), sort_keys=True) + "\n")
+    return len(corpus)
+
+
+def load_corpus(path: str | pathlib.Path) -> LabeledCorpus:
+    """Read a JSONL corpus back, ground truth intact."""
+    path = pathlib.Path(path)
+    articles = []
+    with path.open("r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise CorpusError(f"{path}:{line_number}: invalid JSON ({exc})") from None
+            articles.append(article_from_dict(record))
+    return LabeledCorpus(articles)

@@ -1,0 +1,83 @@
+"""Word banks for the synthetic news corpus.
+
+The corpus generator composes articles from these banks.  The split into
+*neutral reporting* language versus *emotional / clickbait* language is
+the lever the paper's cited statistic turns on: fake news wraps intent
+"into the prepared standard factual news ... using the words of negative
+emotions" (§I, citing [11-13]).  The stylometric detector in
+:mod:`repro.ml.features` counts exactly these banks, which mirrors how
+lexicon-based fake-news features work on real data (e.g. OpenSources'
+aesthetic/social analysis, ref [41]).
+"""
+
+from __future__ import annotations
+
+import re
+
+__all__ = [
+    "NEUTRAL_VERBS",
+    "REPORTING_VERBS",
+    "EMOTIONAL_WORDS",
+    "CLICKBAIT_PHRASES",
+    "HEDGE_WORDS",
+    "CONNECTIVES",
+    "tokenize",
+]
+
+# Verbs for neutral factual statements.
+NEUTRAL_VERBS = [
+    "announced", "published", "approved", "released", "presented", "confirmed",
+    "signed", "proposed", "introduced", "completed", "opened", "reviewed",
+    "scheduled", "measured", "recorded", "reported", "adopted", "funded",
+    "launched", "concluded", "expanded", "submitted", "audited", "ratified",
+]
+
+# Attribution verbs used when citing a source.
+REPORTING_VERBS = [
+    "said", "stated", "noted", "added", "explained", "testified",
+    "according to", "told reporters", "wrote", "commented",
+]
+
+# Negative-emotion / sensational vocabulary injected by fake mutations.
+EMOTIONAL_WORDS = [
+    "shocking", "outrageous", "disaster", "catastrophe", "scandal", "corrupt",
+    "betrayal", "horrifying", "devastating", "furious", "disgraceful", "chaos",
+    "terrifying", "explosive", "sinister", "treasonous", "nightmare", "crisis",
+    "collapse", "conspiracy", "coverup", "rigged", "fraudulent", "alarming",
+    "destroyed", "slammed", "blasted", "humiliated", "exposed", "panic",
+]
+
+# Clickbait framings prepended/injected by fake mutations.
+CLICKBAIT_PHRASES = [
+    "you will not believe what happened next",
+    "the truth they do not want you to know",
+    "this changes everything",
+    "share before it gets deleted",
+    "mainstream media will not report this",
+    "insiders reveal the real story",
+    "what happens next will shock you",
+    "the one fact everyone is hiding",
+]
+
+# Hedging language characteristic of rumor-mill sources.
+HEDGE_WORDS = [
+    "allegedly", "reportedly", "supposedly", "rumored", "unconfirmed",
+    "sources say", "some claim", "many people are saying", "apparently",
+]
+
+# Neutral connectives used to stitch sentences.
+CONNECTIVES = [
+    "meanwhile", "in addition", "furthermore", "separately", "earlier",
+    "later that day", "in a statement", "during the session",
+]
+
+_TOKEN_RE = re.compile(r"[a-z0-9]+")
+
+
+def tokenize(text: str) -> list[str]:
+    """Lowercase word tokenizer shared by the corpus and ML layers.
+
+    Splits on anything that is not ``[a-z0-9]`` after lowercasing, so
+    punctuation and case never leak into vocabulary statistics.
+    """
+    return _TOKEN_RE.findall(text.lower())

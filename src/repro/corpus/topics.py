@@ -1,0 +1,131 @@
+"""Topic definitions for the synthetic news universe.
+
+Each topic carries its own nouns, actor entities, locations, and object
+phrases; the generator samples from these to make articles that are
+topically coherent (so topic-based news rooms, expert identification,
+and community detection have real signal to find).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Topic", "TOPICS", "topic_by_name"]
+
+
+@dataclass(frozen=True)
+class Topic:
+    """A news beat: its vocabulary and cast of entities."""
+
+    name: str
+    nouns: tuple[str, ...]
+    entities: tuple[str, ...]
+    places: tuple[str, ...]
+    objects: tuple[str, ...]
+
+
+TOPICS: tuple[Topic, ...] = (
+    Topic(
+        name="politics",
+        nouns=("bill", "committee", "amendment", "session", "coalition", "budget",
+               "hearing", "resolution", "caucus", "ordinance", "statute", "veto"),
+        entities=("senator ruiz", "governor hale", "minister okafor", "speaker lindqvist",
+                  "representative chen", "chancellor moreau", "deputy iyer", "councilor banda"),
+        places=("the capitol", "the assembly", "the lower house", "the federal court",
+                "city hall", "the ministry"),
+        objects=("the appropriations bill", "the ethics resolution", "the border statute",
+                 "the voting rights amendment", "the infrastructure package", "the census plan"),
+    ),
+    Topic(
+        name="economy",
+        nouns=("inflation", "tariff", "surplus", "deficit", "index", "forecast",
+               "quarter", "exports", "bond", "subsidy", "payroll", "audit"),
+        entities=("the central bank", "treasury secretary vale", "economist duarte",
+                  "the labor bureau", "analyst petrov", "the trade commission",
+                  "chair whitfield", "the statistics office"),
+        places=("the exchange", "the treasury", "the trade summit", "the quarterly briefing",
+                "the bond market", "the regional forum"),
+        objects=("the interest rate", "the jobs report", "the tariff schedule",
+                 "the growth forecast", "the pension fund", "the currency reserve"),
+    ),
+    Topic(
+        name="health",
+        nouns=("trial", "vaccine", "clinic", "outbreak", "screening", "dosage",
+               "symptom", "therapy", "pathogen", "diagnosis", "antibody", "ward"),
+        entities=("dr. amara", "the health agency", "surgeon general polk", "dr. lindgren",
+                  "the hospital board", "epidemiologist tan", "nurse association rep casillas",
+                  "the medical council"),
+        places=("the regional hospital", "the research clinic", "the public health lab",
+                "the vaccination center", "the county ward", "the review board"),
+        objects=("the influenza vaccine", "the screening program", "the clinical trial",
+                 "the treatment protocol", "the outbreak response", "the drug approval"),
+    ),
+    Topic(
+        name="science",
+        nouns=("experiment", "telescope", "specimen", "dataset", "orbit", "genome",
+               "reactor", "sensor", "hypothesis", "particle", "survey", "sample"),
+        entities=("professor nyman", "the space agency", "the research institute",
+                  "dr. castellanos", "the physics consortium", "geologist braun",
+                  "the observatory team", "laureate adeyemi"),
+        places=("the observatory", "the laboratory", "the research station",
+                "the launch site", "the field camp", "the particle facility"),
+        objects=("the lunar probe", "the climate dataset", "the fusion experiment",
+                 "the genome survey", "the deep-sea sensor", "the asteroid sample"),
+    ),
+    Topic(
+        name="technology",
+        nouns=("platform", "algorithm", "chip", "network", "breach", "patch",
+               "firmware", "protocol", "startup", "patent", "outage", "encryption"),
+        entities=("the software consortium", "ceo maravilla", "the standards body",
+                  "engineer kowalski", "the security firm", "founder abebe",
+                  "the telecom regulator", "cto ramanathan"),
+        places=("the developer conference", "the data center", "the standards meeting",
+                "the product launch", "the security summit", "the campus"),
+        objects=("the payment platform", "the identity protocol", "the browser patch",
+                 "the chip factory", "the spectrum auction", "the open-source toolkit"),
+    ),
+    Topic(
+        name="climate",
+        nouns=("emissions", "drought", "reservoir", "wildfire", "glacier", "treaty",
+               "monsoon", "grid", "turbine", "carbon", "habitat", "floodplain"),
+        entities=("the climate panel", "minister dube", "the energy cooperative",
+                  "scientist aalto", "the forestry service", "negotiator silva",
+                  "the coastal authority", "meteorologist park"),
+        places=("the delta region", "the summit venue", "the coastal plain",
+                "the northern grid", "the conservation area", "the basin"),
+        objects=("the emissions target", "the solar array", "the water accord",
+                 "the reforestation plan", "the flood barrier", "the carbon registry"),
+    ),
+    Topic(
+        name="sports",
+        nouns=("tournament", "transfer", "final", "record", "league", "injury",
+               "contract", "qualifier", "stadium", "season", "penalty", "roster"),
+        entities=("coach ferreira", "striker jansen", "the athletics federation",
+                  "captain osei", "the league office", "goalkeeper martel",
+                  "manager sato", "the referees union"),
+        places=("the national stadium", "the training ground", "the championship venue",
+                "the arena", "the qualifying round", "the home fixture"),
+        objects=("the championship final", "the transfer deal", "the league schedule",
+                 "the doping review", "the broadcast rights", "the youth academy"),
+    ),
+    Topic(
+        name="elections",
+        nouns=("ballot", "precinct", "turnout", "recount", "registration", "mandate",
+               "poll", "constituency", "runoff", "tally", "observer", "certification"),
+        entities=("candidate novak", "candidate ashby", "the election board",
+                  "commissioner reyes", "the observers mission", "pollster grimaldi",
+                  "the returning officer", "campaign chair mensah"),
+        places=("the polling station", "the count center", "the district office",
+                "the campaign rally", "the debate hall", "the certification hearing"),
+        objects=("the provisional ballots", "the voter rolls", "the runoff schedule",
+                 "the audit procedure", "the campaign filings", "the district map"),
+    ),
+)
+
+
+def topic_by_name(name: str) -> Topic:
+    """Look a topic up by name; raises KeyError with the known names."""
+    for topic in TOPICS:
+        if topic.name == name:
+            return topic
+    raise KeyError(f"unknown topic {name!r}; known: {[t.name for t in TOPICS]}")

@@ -1,0 +1,212 @@
+"""Pure-Python Ed25519 (RFC 8032) signatures.
+
+Implemented from scratch on top of ``hashlib.sha512`` so the blockchain
+substrate has no dependency on external crypto packages.  Points are kept
+in extended homogeneous coordinates (X, Y, Z, T) for efficient addition
+and doubling; scalar multiplication is a simple double-and-add, which is
+plenty for a simulator (signing/verifying a few thousand transactions).
+
+This module deliberately exposes only the byte-level API:
+
+- :func:`generate_public_key` — 32-byte seed -> 32-byte public key
+- :func:`sign` — (seed, message) -> 64-byte signature
+- :func:`verify` — (public key, message, signature) -> bool
+
+Key management lives in :mod:`repro.crypto.keys`.
+"""
+
+from __future__ import annotations
+
+import functools
+import hashlib
+
+from repro.errors import CryptoError
+
+__all__ = ["generate_public_key", "sign", "verify", "SEED_BYTES", "SIG_BYTES"]
+
+SEED_BYTES = 32
+SIG_BYTES = 64
+
+_P = 2**255 - 19
+_L = 2**252 + 27742317777372353535851937790883648493
+_D = (-121665 * pow(121666, _P - 2, _P)) % _P
+_I = pow(2, (_P - 1) // 4, _P)  # sqrt(-1)
+
+
+def _sha512(data: bytes) -> bytes:
+    return hashlib.sha512(data).digest()
+
+
+def _inv(x: int) -> int:
+    return pow(x, _P - 2, _P)
+
+
+def _recover_x(y: int, sign_bit: int) -> int:
+    """Recover the x coordinate from y and the encoded sign bit."""
+    if y >= _P:
+        raise CryptoError("point y coordinate out of range")
+    x2 = (y * y - 1) * _inv(_D * y * y + 1) % _P
+    if x2 == 0:
+        if sign_bit:
+            raise CryptoError("invalid point encoding")
+        return 0
+    x = pow(x2, (_P + 3) // 8, _P)
+    if (x * x - x2) % _P != 0:
+        x = x * _I % _P
+    if (x * x - x2) % _P != 0:
+        raise CryptoError("invalid point encoding")
+    if (x & 1) != sign_bit:
+        x = _P - x
+    return x
+
+
+# Points as (X, Y, Z, T) extended coordinates with x = X/Z, y = Y/Z, xy = T/Z.
+_Point = tuple[int, int, int, int]
+
+_G_Y = 4 * _inv(5) % _P
+_G_X = _recover_x(_G_Y, 0)
+_G: _Point = (_G_X, _G_Y, 1, _G_X * _G_Y % _P)
+_IDENTITY: _Point = (0, 1, 1, 0)
+
+
+def _point_add(p: _Point, q: _Point) -> _Point:
+    x1, y1, z1, t1 = p
+    x2, y2, z2, t2 = q
+    a = (y1 - x1) * (y2 - x2) % _P
+    b = (y1 + x1) * (y2 + x2) % _P
+    c = 2 * t1 * t2 * _D % _P
+    d = 2 * z1 * z2 % _P
+    e, f, g, h = b - a, d - c, d + c, b + a
+    return (e * f % _P, g * h % _P, f * g % _P, e * h % _P)
+
+
+def _point_mul(s: int, p: _Point) -> _Point:
+    q = _IDENTITY
+    while s > 0:
+        if s & 1:
+            q = _point_add(q, p)
+        p = _point_add(p, p)
+        s >>= 1
+    return q
+
+
+# -- fixed-base acceleration -------------------------------------------------
+#
+# Signing (and half of verification) multiplies the *base point* by a
+# scalar.  With a 4-bit windowed table — table[w][d] = (16**w * d) * G —
+# that multiplication becomes at most 63 point additions instead of
+# ~256 doublings + ~128 additions, a ~4x speedup that the whole
+# blockchain layer inherits.  The table costs ~1000 point additions
+# once, at import.
+
+_WINDOW_BITS = 4
+_N_WINDOWS = 64  # 256 bits / 4
+
+
+def _build_base_table() -> list[list[_Point]]:
+    table: list[list[_Point]] = []
+    power = _G  # (16 ** w) * G
+    for _ in range(_N_WINDOWS):
+        row = [_IDENTITY]
+        for _ in range(15):
+            row.append(_point_add(row[-1], power))
+        table.append(row)
+        power = _point_add(row[-1], power)  # 16 * (16**w) G
+    return table
+
+
+_BASE_TABLE = _build_base_table()
+
+
+def _point_mul_base(s: int) -> _Point:
+    """Scalar multiplication of the base point via the windowed table."""
+    q = _IDENTITY
+    window = 0
+    while s > 0:
+        digit = s & 0xF
+        if digit:
+            q = _point_add(q, _BASE_TABLE[window][digit])
+        s >>= _WINDOW_BITS
+        window += 1
+    return q
+
+
+def _point_equal(p: _Point, q: _Point) -> bool:
+    x1, y1, z1, _ = p
+    x2, y2, z2, _ = q
+    if (x1 * z2 - x2 * z1) % _P != 0:
+        return False
+    return (y1 * z2 - y2 * z1) % _P == 0
+
+
+def _point_compress(p: _Point) -> bytes:
+    x, y, z, _ = p
+    zinv = _inv(z)
+    x, y = x * zinv % _P, y * zinv % _P
+    return int.to_bytes(y | ((x & 1) << 255), 32, "little")
+
+
+def _point_decompress(data: bytes) -> _Point:
+    if len(data) != 32:
+        raise CryptoError("point encoding must be 32 bytes")
+    encoded = int.from_bytes(data, "little")
+    y = encoded & ((1 << 255) - 1)
+    sign_bit = encoded >> 255
+    x = _recover_x(y, sign_bit)
+    return (x, y, 1, x * y % _P)
+
+
+def _secret_expand(seed: bytes) -> tuple[int, bytes]:
+    if len(seed) != SEED_BYTES:
+        raise CryptoError(f"seed must be {SEED_BYTES} bytes, got {len(seed)}")
+    h = _sha512(seed)
+    a = int.from_bytes(h[:32], "little")
+    a &= (1 << 254) - 8
+    a |= 1 << 254
+    return a, h[32:]
+
+
+def generate_public_key(seed: bytes) -> bytes:
+    """Derive the 32-byte public key from a 32-byte secret seed."""
+    a, _ = _secret_expand(seed)
+    return _point_compress(_point_mul_base(a))
+
+
+def sign(seed: bytes, message: bytes) -> bytes:
+    """Produce a 64-byte Ed25519 signature of *message* under *seed*."""
+    a, prefix = _secret_expand(seed)
+    public = _point_compress(_point_mul_base(a))
+    r = int.from_bytes(_sha512(prefix + message), "little") % _L
+    r_point = _point_compress(_point_mul_base(r))
+    h = int.from_bytes(_sha512(r_point + public + message), "little") % _L
+    s = (r + h * a) % _L
+    return r_point + int.to_bytes(s, 32, "little")
+
+
+@functools.lru_cache(maxsize=200_000)
+def verify(public_key: bytes, message: bytes, signature: bytes) -> bool:
+    """Check an Ed25519 signature; returns ``False`` on any mismatch.
+
+    Malformed inputs (wrong lengths, non-points) return ``False`` rather
+    than raising, so callers can treat all bad signatures uniformly.
+
+    Results are memoized: in the simulator every peer re-verifies the
+    same immutable transaction bytes, and verification is a pure
+    function of its inputs, so caching changes no outcome — it only
+    stops an n-peer network from paying the same scalar multiplications
+    n times.  (Real deployments batch-verify for the same reason.)
+    """
+    if len(public_key) != 32 or len(signature) != SIG_BYTES:
+        return False
+    try:
+        a_point = _point_decompress(public_key)
+        r_point = _point_decompress(signature[:32])
+    except CryptoError:
+        return False
+    s = int.from_bytes(signature[32:], "little")
+    if s >= _L:
+        return False
+    h = int.from_bytes(_sha512(signature[:32] + public_key + message), "little") % _L
+    left = _point_mul_base(s)
+    right = _point_add(r_point, _point_mul(h, a_point))
+    return _point_equal(left, right)

@@ -1,0 +1,65 @@
+"""Key pairs and account addresses for blockchain participants.
+
+A :class:`KeyPair` wraps an Ed25519 seed and exposes signing; the public
+key hashed with SHA-256 yields the account *address* used throughout the
+ledger.  Key generation is deterministic when given a ``random.Random``
+so whole experiments can be replayed from one seed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.crypto import ed25519
+from repro.crypto.hashing import sha256_hex
+from repro.errors import CryptoError
+
+__all__ = ["KeyPair", "address_from_public_key", "verify_signature"]
+
+_ADDRESS_PREFIX = "acct:"
+
+
+def address_from_public_key(public_key: bytes) -> str:
+    """Derive the ledger address for a public key.
+
+    Addresses are ``acct:`` plus the first 40 hex chars of the SHA-256 of
+    the public key — short enough to read in logs, long enough that
+    collisions are not a concern at simulation scale.
+    """
+    return _ADDRESS_PREFIX + sha256_hex(public_key)[:40]
+
+
+@dataclass(frozen=True)
+class KeyPair:
+    """An Ed25519 key pair plus its derived ledger address."""
+
+    seed: bytes = field(repr=False)
+    public_key: bytes
+    address: str
+
+    @classmethod
+    def generate(cls, rng: random.Random | None = None) -> "KeyPair":
+        """Create a fresh key pair, deterministically if *rng* is given."""
+        rng = rng or random.SystemRandom()
+        seed = rng.getrandbits(256).to_bytes(32, "little")
+        return cls.from_seed(seed)
+
+    @classmethod
+    def from_seed(cls, seed: bytes) -> "KeyPair":
+        if len(seed) != ed25519.SEED_BYTES:
+            raise CryptoError("seed must be 32 bytes")
+        public = ed25519.generate_public_key(seed)
+        return cls(seed=seed, public_key=public, address=address_from_public_key(public))
+
+    def sign(self, message: bytes) -> bytes:
+        """Sign *message*, returning the 64-byte signature."""
+        return ed25519.sign(self.seed, message)
+
+    def verify(self, message: bytes, signature: bytes) -> bool:
+        return ed25519.verify(self.public_key, message, signature)
+
+
+def verify_signature(public_key: bytes, message: bytes, signature: bytes) -> bool:
+    """Module-level convenience mirroring :meth:`KeyPair.verify`."""
+    return ed25519.verify(public_key, message, signature)

@@ -1,0 +1,106 @@
+"""Merkle trees over transaction digests, with inclusion proofs.
+
+Blocks commit to their transaction set through the Merkle root so that
+any single transaction's membership can be proven with O(log n) hashes —
+the property the paper leans on for news traceability ("the record is
+immutable and any changes are easy to detect", §IV).
+
+Leaves are hex digest strings.  Interior nodes hash the concatenation of
+their children's raw digest bytes, with a domain-separation prefix so a
+leaf can never be confused with an interior node (second-preimage
+hardening).  Odd nodes are promoted (Bitcoin-style duplication is avoided
+because it admits trivial malleability).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.hashing import sha256_hex
+
+__all__ = ["MerkleTree", "MerkleProof", "EMPTY_ROOT"]
+
+_LEAF_PREFIX = b"\x00"
+_NODE_PREFIX = b"\x01"
+
+EMPTY_ROOT = sha256_hex(b"repro:empty-merkle-tree")
+
+
+def _leaf_hash(digest_hex: str) -> str:
+    return sha256_hex(_LEAF_PREFIX + bytes.fromhex(digest_hex))
+
+
+def _node_hash(left: str, right: str) -> str:
+    return sha256_hex(_NODE_PREFIX + bytes.fromhex(left) + bytes.fromhex(right))
+
+
+@dataclass(frozen=True)
+class MerkleProof:
+    """Inclusion proof: the leaf index plus sibling hashes bottom-up.
+
+    Each step is ``(sibling_hash, sibling_is_right)``.  A level where the
+    node was promoted without a sibling contributes no step.
+    """
+
+    leaf: str
+    index: int
+    path: tuple[tuple[str, bool], ...]
+
+    def verify(self, root: str) -> bool:
+        """Recompute the root from the leaf and compare."""
+        current = _leaf_hash(self.leaf)
+        for sibling, sibling_is_right in self.path:
+            if sibling_is_right:
+                current = _node_hash(current, sibling)
+            else:
+                current = _node_hash(sibling, current)
+        return current == root
+
+
+class MerkleTree:
+    """Merkle tree over an ordered list of hex-digest leaves."""
+
+    def __init__(self, leaves: list[str]):
+        self._leaves = list(leaves)
+        self._levels: list[list[str]] = []
+        self._build()
+
+    def _build(self) -> None:
+        if not self._leaves:
+            self._levels = [[EMPTY_ROOT]]
+            return
+        level = [_leaf_hash(leaf) for leaf in self._leaves]
+        self._levels = [level]
+        while len(level) > 1:
+            nxt = []
+            for i in range(0, len(level) - 1, 2):
+                nxt.append(_node_hash(level[i], level[i + 1]))
+            if len(level) % 2 == 1:
+                nxt.append(level[-1])  # promote the odd node unchanged
+            level = nxt
+            self._levels.append(level)
+
+    @property
+    def root(self) -> str:
+        return self._levels[-1][0]
+
+    def __len__(self) -> int:
+        return len(self._leaves)
+
+    def prove(self, index: int) -> MerkleProof:
+        """Build an inclusion proof for the leaf at *index*."""
+        if not 0 <= index < len(self._leaves):
+            raise IndexError(f"leaf index {index} out of range")
+        path: list[tuple[str, bool]] = []
+        pos = index
+        for level in self._levels[:-1]:
+            sibling_pos = pos ^ 1
+            if sibling_pos < len(level):
+                path.append((level[sibling_pos], sibling_pos > pos))
+            pos //= 2
+        return MerkleProof(leaf=self._leaves[index], index=index, path=tuple(path))
+
+    @staticmethod
+    def root_of(leaves: list[str]) -> str:
+        """Compute just the root without keeping the tree around."""
+        return MerkleTree(leaves).root

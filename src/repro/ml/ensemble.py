@@ -1,0 +1,110 @@
+"""Score fusion: soft-voting ensembles and the platform's AI scorer.
+
+:class:`FakeNewsScorer` is the concrete "AI validated" component the
+platform architecture (Fig. 1) plugs in: fit on labeled text, emit
+P(fake) in [0, 1].  Internally it fuses a TF-IDF logistic regression,
+a multinomial NB over counts, and a stylometric logistic regression —
+three genuinely different inductive biases, which is what makes the
+fusion worth more than any member (shown in E5).
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, Sequence
+
+import numpy as np
+
+from repro.errors import MLError
+from repro.ml.features import StylometricExtractor
+from repro.ml.logistic import LogisticRegression
+from repro.ml.naive_bayes import MultinomialNaiveBayes
+from repro.ml.vectorize import CountVectorizer, ScaledVectorizer, TfidfVectorizer
+
+__all__ = ["SoftVotingEnsemble", "FakeNewsScorer", "TextScorer"]
+
+
+class TextScorer(Protocol):
+    """Anything that maps raw texts to P(fake) scores."""
+
+    def fit(self, texts: list[str], labels: Sequence[int]) -> "TextScorer": ...
+
+    def score(self, texts: list[str]) -> np.ndarray: ...
+
+
+class _Member:
+    """One (vectorizer, model) pipeline inside an ensemble."""
+
+    def __init__(self, vectorizer, model, weight: float = 1.0):
+        self.vectorizer = vectorizer
+        self.model = model
+        self.weight = weight
+
+    def fit(self, texts: list[str], labels: np.ndarray) -> None:
+        X = self.vectorizer.fit_transform(texts)
+        self.model.fit(X, labels)
+
+    def score(self, texts: list[str]) -> np.ndarray:
+        return self.model.score_fake(self.vectorizer.transform(texts))
+
+
+class SoftVotingEnsemble:
+    """Weighted average of member fake-scores."""
+
+    def __init__(self, members: list[_Member]):
+        if not members:
+            raise MLError("ensemble needs at least one member")
+        self.members = members
+
+    def fit(self, texts: list[str], labels: Sequence[int]) -> "SoftVotingEnsemble":
+        y = np.asarray(labels)
+        for member in self.members:
+            member.fit(texts, y)
+        return self
+
+    def score(self, texts: list[str]) -> np.ndarray:
+        total_weight = sum(m.weight for m in self.members)
+        combined = np.zeros(len(texts))
+        for member in self.members:
+            combined += member.weight * member.score(texts)
+        return combined / total_weight
+
+    def predict(self, texts: list[str], threshold: float = 0.5) -> np.ndarray:
+        return (self.score(texts) >= threshold).astype(np.int64)
+
+
+class FakeNewsScorer:
+    """The platform's default AI component: text in, P(fake) out."""
+
+    def __init__(self, seed: int = 0, max_features: int | None = 4000):
+        self.seed = seed
+        self._ensemble = SoftVotingEnsemble(
+            [
+                _Member(TfidfVectorizer(max_features=max_features), LogisticRegression(), weight=2.0),
+                _Member(CountVectorizer(max_features=max_features), MultinomialNaiveBayes(), weight=1.0),
+                _Member(
+                    ScaledVectorizer(StylometricExtractor()),
+                    LogisticRegression(learning_rate=0.3),
+                    weight=2.0,
+                ),
+            ]
+        )
+        self._fitted = False
+
+    def fit(self, texts: list[str], labels: Sequence[int]) -> "FakeNewsScorer":
+        if len(texts) != len(labels):
+            raise MLError("texts/labels length mismatch")
+        self._ensemble.fit(texts, labels)
+        self._fitted = True
+        return self
+
+    def score(self, texts: list[str]) -> np.ndarray:
+        """P(fake) per text, in corpus order."""
+        if not self._fitted:
+            raise MLError("scorer must be fitted before scoring")
+        return self._ensemble.score(texts)
+
+    def score_one(self, text: str) -> float:
+        return float(self.score([text])[0])
+
+    def predict(self, texts: list[str], threshold: float = 0.5) -> np.ndarray:
+        return self._ensemble.predict(texts, threshold)

@@ -1,0 +1,86 @@
+"""Stylometric features: the social/humanistic signals the paper's
+"fake text detection component" (§IV) looks for.
+
+Fake news — per the paper's framing and its OpenSources reference [41] —
+carries negative-emotion vocabulary, clickbait framing, hedged
+attribution, and weaker sourcing than standard factual news.  This
+module measures exactly those registers (against the same lexicons the
+corpus generator draws from) plus register-free shape statistics, and
+wraps them in a classifier-compatible extractor.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.corpus.lexicon import (
+    CLICKBAIT_PHRASES,
+    EMOTIONAL_WORDS,
+    HEDGE_WORDS,
+    NEUTRAL_VERBS,
+    REPORTING_VERBS,
+    tokenize,
+)
+
+__all__ = ["StylometricExtractor", "FEATURE_NAMES"]
+
+FEATURE_NAMES = (
+    "emotional_rate",
+    "clickbait_hits",
+    "hedge_rate",
+    "attribution_rate",
+    "neutral_verb_rate",
+    "numeric_density",
+    "type_token_ratio",
+    "mean_sentence_length",
+    "sentence_length_cv",
+    "second_person_rate",
+)
+
+_EMOTIONAL = frozenset(EMOTIONAL_WORDS)
+_HEDGE_TOKENS = frozenset(
+    token for phrase in HEDGE_WORDS for token in tokenize(phrase)
+)
+_REPORTING_TOKENS = frozenset(
+    token for phrase in REPORTING_VERBS for token in tokenize(phrase)
+)
+_NEUTRAL = frozenset(NEUTRAL_VERBS)
+_SECOND_PERSON = frozenset({"you", "your", "yours"})
+
+
+class StylometricExtractor:
+    """Turns raw text into the 10-dimensional stylometric vector.
+
+    Stateless (no fit needed); ``fit``/``fit_transform`` exist so it
+    slots into the same pipelines as the vectorizers.
+    """
+
+    def transform(self, texts: list[str]) -> np.ndarray:
+        return np.array([self._features(text) for text in texts], dtype=np.float64)
+
+    def fit(self, texts: list[str]) -> "StylometricExtractor":
+        return self
+
+    def fit_transform(self, texts: list[str]) -> np.ndarray:
+        return self.transform(texts)
+
+    def _features(self, text: str) -> list[float]:
+        tokens = tokenize(text)
+        n = max(1, len(tokens))
+        lower = text.lower()
+        sentences = [s for s in lower.split(".") if s.strip()]
+        lengths = np.array([len(tokenize(s)) for s in sentences] or [0], dtype=np.float64)
+        mean_len = float(lengths.mean())
+        cv = float(lengths.std() / mean_len) if mean_len > 0 else 0.0
+        return [
+            sum(1 for t in tokens if t in _EMOTIONAL) / n,
+            float(sum(lower.count(phrase) for phrase in CLICKBAIT_PHRASES)),
+            sum(1 for t in tokens if t in _HEDGE_TOKENS) / n,
+            sum(1 for t in tokens if t in _REPORTING_TOKENS) / n,
+            sum(1 for t in tokens if t in _NEUTRAL) / n,
+            sum(1 for t in tokens if t.isdigit()) / n,
+            len(set(tokens)) / n,
+            mean_len,
+            cv,
+            sum(1 for t in tokens if t in _SECOND_PERSON) / n,
+        ]

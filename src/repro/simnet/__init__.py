@@ -1,0 +1,32 @@
+"""Discrete-event network simulation substrate.
+
+One deterministic clock (:class:`Simulator`) drives both the blockchain
+consensus layer and the social-media cascade layer; :class:`Network`
+provides latency, partitions, drops, and crash faults.
+"""
+
+from repro.simnet.events import Event, Simulator
+from repro.simnet.failure import FailureEvent, FailureSchedule
+from repro.simnet.latency import (
+    FixedLatency,
+    GeoLatency,
+    LatencyModel,
+    LogNormalLatency,
+    UniformLatency,
+)
+from repro.simnet.network import Message, Network, NetworkNode
+
+__all__ = [
+    "Event",
+    "Simulator",
+    "FailureEvent",
+    "FailureSchedule",
+    "FixedLatency",
+    "GeoLatency",
+    "LatencyModel",
+    "LogNormalLatency",
+    "UniformLatency",
+    "Message",
+    "Network",
+    "NetworkNode",
+]

@@ -1,0 +1,71 @@
+"""Failure injection for the simulated network.
+
+Experiments need repeatable fault schedules: crash a peer at t=5, heal a
+partition at t=30, make two validators byzantine from the start.  The
+:class:`FailureSchedule` records what it did so tests can assert the
+faults actually happened.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.simnet.events import Simulator
+from repro.simnet.network import Network
+
+__all__ = ["FailureEvent", "FailureSchedule"]
+
+
+@dataclass(frozen=True)
+class FailureEvent:
+    """A fault that fired: (time, action, target)."""
+
+    time: float
+    action: str
+    target: str
+
+
+@dataclass
+class FailureSchedule:
+    """Declarative fault schedule bound to a network and simulator."""
+
+    sim: Simulator
+    network: Network
+    log: list[FailureEvent] = field(default_factory=list)
+
+    def crash_at(self, time: float, node_id: str) -> None:
+        """Crash-stop *node_id* at absolute simulated *time*."""
+        self.sim.schedule_at(time, lambda: self._crash(node_id, time))
+
+    def recover_at(self, time: float, node_id: str) -> None:
+        """Bring a crashed node back (it resumes from its last state)."""
+        self.sim.schedule_at(time, lambda: self._recover(node_id, time))
+
+    def partition_at(self, time: float, *groups: set[str]) -> None:
+        """Install a partition at *time*."""
+        frozen = [set(g) for g in groups]
+        self.sim.schedule_at(time, lambda: self._partition(frozen, time))
+
+    def heal_at(self, time: float) -> None:
+        """Heal all partitions at *time*."""
+        self.sim.schedule_at(time, lambda: self._heal(time))
+
+    # -- implementations -------------------------------------------------
+
+    def _crash(self, node_id: str, time: float) -> None:
+        self.network.node(node_id).crashed = True
+        self.log.append(FailureEvent(time=time, action="crash", target=node_id))
+
+    def _recover(self, node_id: str, time: float) -> None:
+        self.network.node(node_id).crashed = False
+        self.log.append(FailureEvent(time=time, action="recover", target=node_id))
+
+    def _partition(self, groups: list[set[str]], time: float) -> None:
+        self.network.partition(*groups)
+        self.log.append(
+            FailureEvent(time=time, action="partition", target="|".join(",".join(sorted(g)) for g in groups))
+        )
+
+    def _heal(self, time: float) -> None:
+        self.network.heal()
+        self.log.append(FailureEvent(time=time, action="heal", target="*"))

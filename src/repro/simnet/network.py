@@ -1,0 +1,170 @@
+"""Simulated message-passing network connecting protocol nodes.
+
+A :class:`Network` registers :class:`NetworkNode` subclasses (blockchain
+peers live in :mod:`repro.chain.peer`), and delivers messages through the
+shared :class:`~repro.simnet.events.Simulator` with delays drawn from a
+:class:`~repro.simnet.latency.LatencyModel`.  Partitions, message drops,
+and crashed nodes are all modelled at delivery time, which is where real
+networks lose messages too.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Any
+
+from repro.errors import SimulationError
+from repro.simnet.events import Simulator
+from repro.simnet.latency import FixedLatency, LatencyModel
+
+__all__ = ["Message", "NetworkNode", "Network"]
+
+
+@dataclass(frozen=True)
+class Message:
+    """An application message in flight between two nodes."""
+
+    src: str
+    dst: str
+    kind: str
+    payload: Any
+    sent_at: float
+
+
+class NetworkNode(ABC):
+    """Base class for anything addressable on the simulated network."""
+
+    def __init__(self, node_id: str):
+        self.node_id = node_id
+        self.network: "Network | None" = None
+        self.crashed = False
+
+    @property
+    def sim(self) -> Simulator:
+        if self.network is None:
+            raise SimulationError(f"node {self.node_id} is not attached to a network")
+        return self.network.sim
+
+    @abstractmethod
+    def on_message(self, message: Message) -> None:
+        """Handle a delivered message."""
+
+    def send(self, dst: str, kind: str, payload: Any) -> None:
+        """Send a message to one peer."""
+        if self.network is None:
+            raise SimulationError(f"node {self.node_id} is not attached to a network")
+        self.network.transmit(self.node_id, dst, kind, payload)
+
+    def broadcast(self, kind: str, payload: Any, include_self: bool = False) -> None:
+        """Send a message to every node on the network."""
+        if self.network is None:
+            raise SimulationError(f"node {self.node_id} is not attached to a network")
+        for dst in self.network.node_ids():
+            if include_self or dst != self.node_id:
+                self.network.transmit(self.node_id, dst, kind, payload)
+
+
+@dataclass
+class NetworkStats:
+    """Counters the scalability benchmarks read out."""
+
+    sent: int = 0
+    delivered: int = 0
+    dropped_partition: int = 0
+    dropped_random: int = 0
+    dropped_crashed: int = 0
+    total_latency: float = 0.0
+    bytes_estimate: int = 0
+
+    @property
+    def mean_latency(self) -> float:
+        return self.total_latency / self.delivered if self.delivered else 0.0
+
+
+class Network:
+    """The message fabric: nodes, latency, partitions, and drops."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        latency: LatencyModel | None = None,
+        drop_probability: float = 0.0,
+        seed: int = 0,
+    ):
+        if not 0 <= drop_probability < 1:
+            raise SimulationError("drop_probability must be in [0, 1)")
+        self.sim = sim
+        self.latency = latency or FixedLatency()
+        self.drop_probability = drop_probability
+        self.rng = random.Random(seed)
+        self.stats = NetworkStats()
+        self._nodes: dict[str, NetworkNode] = {}
+        self._partition: list[frozenset[str]] | None = None
+
+    def add_node(self, node: NetworkNode) -> None:
+        if node.node_id in self._nodes:
+            raise SimulationError(f"duplicate node id {node.node_id!r}")
+        node.network = self
+        self._nodes[node.node_id] = node
+
+    def node(self, node_id: str) -> NetworkNode:
+        return self._nodes[node_id]
+
+    def node_ids(self) -> list[str]:
+        return list(self._nodes)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    # -- fault injection ------------------------------------------------
+
+    def partition(self, *groups: set[str]) -> None:
+        """Split the network: messages only flow within a group.
+
+        Nodes not named in any group form an implicit final group.
+        """
+        named = set().union(*groups) if groups else set()
+        rest = frozenset(set(self._nodes) - named)
+        self._partition = [frozenset(g) for g in groups]
+        if rest:
+            self._partition.append(rest)
+
+    def heal(self) -> None:
+        """Remove any partition."""
+        self._partition = None
+
+    def _same_side(self, a: str, b: str) -> bool:
+        if self._partition is None:
+            return True
+        for group in self._partition:
+            if a in group:
+                return b in group
+        return False  # unreachable: every node is in some group
+
+    # -- transmission ---------------------------------------------------
+
+    def transmit(self, src: str, dst: str, kind: str, payload: Any) -> None:
+        """Queue a message for delivery (or silently drop it)."""
+        if dst not in self._nodes:
+            raise SimulationError(f"unknown destination node {dst!r}")
+        self.stats.sent += 1
+        if not self._same_side(src, dst):
+            self.stats.dropped_partition += 1
+            return
+        if self.drop_probability and self.rng.random() < self.drop_probability:
+            self.stats.dropped_random += 1
+            return
+        delay = self.latency.sample(src, dst, self.rng)
+        message = Message(src=src, dst=dst, kind=kind, payload=payload, sent_at=self.sim.now)
+        self.sim.schedule(delay, lambda: self._deliver(message), label=f"{kind}:{src}->{dst}")
+
+    def _deliver(self, message: Message) -> None:
+        node = self._nodes.get(message.dst)
+        if node is None or node.crashed:
+            self.stats.dropped_crashed += 1
+            return
+        self.stats.delivered += 1
+        self.stats.total_latency += self.sim.now - message.sent_at
+        node.on_message(message)

@@ -1,0 +1,44 @@
+"""Agent-based social-media propagation simulator.
+
+Substitutes for real platform traces: users/bots/cyborgs/journalists on
+generated follow graphs, independent-cascade propagation with
+mutation-on-share, and scenario harnesses (fake-vs-factual races).
+"""
+
+from repro.social.agents import AgentKind, SocialAgent, make_botnet, make_population
+from repro.social.cascade import CascadeResult, CascadeRunner, ShareEvent, emotional_appeal
+from repro.social.graphs import (
+    bind_agents,
+    interconnect,
+    polarized_follow_graph,
+    scale_free_follow_graph,
+    small_world_follow_graph,
+)
+from repro.social.simulation import (
+    RaceOutcome,
+    RaceSummary,
+    build_social_world,
+    run_race,
+    run_races,
+)
+
+__all__ = [
+    "AgentKind",
+    "SocialAgent",
+    "make_botnet",
+    "make_population",
+    "CascadeResult",
+    "CascadeRunner",
+    "ShareEvent",
+    "emotional_appeal",
+    "bind_agents",
+    "interconnect",
+    "polarized_follow_graph",
+    "scale_free_follow_graph",
+    "small_world_follow_graph",
+    "RaceOutcome",
+    "RaceSummary",
+    "build_social_world",
+    "run_race",
+    "run_races",
+]

@@ -1,0 +1,127 @@
+"""Social-media agents: users, bots, cyborgs, and journalists.
+
+The paper (citing Grinberg et al. [36]) attributes fake-news spread
+"substantially [to] bots and cyborgs"; the agent taxonomy here encodes
+that: bots re-share aggressively and mutate maliciously, cyborgs are
+human accounts delegated to apps (intermediate behaviour), journalists
+share rarely and verify first, ordinary users sit in between with
+limited attention (ref [65]).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from enum import Enum
+
+__all__ = ["AgentKind", "SocialAgent", "make_population", "make_botnet", "KIND_PROFILES"]
+
+
+class AgentKind(str, Enum):
+    USER = "user"
+    BOT = "bot"
+    CYBORG = "cyborg"
+    JOURNALIST = "journalist"
+
+
+@dataclass(frozen=True)
+class _Profile:
+    """Behavioural parameters for one agent kind."""
+
+    share_probability: float  # chance of re-sharing something seen
+    malicious_probability: float  # chance this agent is a bad actor
+    mutate_probability: float  # if malicious: chance a share mutates
+    attention: int  # max re-shares per round (limited attention)
+
+
+KIND_PROFILES: dict[AgentKind, _Profile] = {
+    AgentKind.USER: _Profile(0.10, 0.05, 0.30, 2),
+    AgentKind.BOT: _Profile(0.55, 0.90, 0.50, 8),
+    AgentKind.CYBORG: _Profile(0.35, 0.60, 0.40, 5),
+    AgentKind.JOURNALIST: _Profile(0.08, 0.01, 0.05, 3),
+}
+
+
+@dataclass
+class SocialAgent:
+    """One account in the social graph."""
+
+    agent_id: str
+    kind: AgentKind
+    malicious: bool
+    share_probability: float
+    mutate_probability: float
+    attention: int
+    community: int = 0
+    # Coordinated-amplification ring id (None for organic accounts).
+    ring: str | None = None
+    # Filled by experiments that bind agents to chain identities.
+    address: str | None = None
+    seen: set[str] = field(default_factory=set)
+
+    @classmethod
+    def create(cls, agent_id: str, kind: AgentKind, rng: random.Random, community: int = 0) -> "SocialAgent":
+        profile = KIND_PROFILES[kind]
+        malicious = rng.random() < profile.malicious_probability
+        return cls(
+            agent_id=agent_id,
+            kind=kind,
+            malicious=malicious,
+            share_probability=profile.share_probability,
+            mutate_probability=profile.mutate_probability if malicious else 0.0,
+            attention=profile.attention,
+            community=community,
+        )
+
+
+def make_population(
+    n_agents: int,
+    rng: random.Random,
+    bot_fraction: float = 0.08,
+    cyborg_fraction: float = 0.05,
+    journalist_fraction: float = 0.03,
+) -> list[SocialAgent]:
+    """Create a mixed population with the given kind fractions.
+
+    Kind counts are deterministic (rounded), assignment to ids is
+    shuffled by *rng* so structure and role are independent.
+    """
+    if bot_fraction + cyborg_fraction + journalist_fraction >= 1.0:
+        raise ValueError("kind fractions must sum to < 1")
+    n_bots = round(n_agents * bot_fraction)
+    n_cyborgs = round(n_agents * cyborg_fraction)
+    n_journalists = round(n_agents * journalist_fraction)
+    kinds = (
+        [AgentKind.BOT] * n_bots
+        + [AgentKind.CYBORG] * n_cyborgs
+        + [AgentKind.JOURNALIST] * n_journalists
+    )
+    kinds += [AgentKind.USER] * (n_agents - len(kinds))
+    rng.shuffle(kinds)
+    return [
+        SocialAgent.create(f"agent-{index:05d}", kind, rng)
+        for index, kind in enumerate(kinds)
+    ]
+
+
+def make_botnet(agents: list[SocialAgent], size: int, rng: random.Random,
+                ring_id: str = "ring-0") -> list[SocialAgent]:
+    """Convert *size* random agents into a coordinated amplification ring.
+
+    Ring members become malicious bots that re-share each other's
+    content near-deterministically (the cascade engine honours the
+    ``ring`` field) — the coordination signature bot detection (E13)
+    looks for.  Returns the recruited members.
+    """
+    if size > len(agents):
+        raise ValueError("botnet larger than the population")
+    recruits = rng.sample(agents, size)
+    for agent in recruits:
+        agent.kind = AgentKind.BOT
+        agent.malicious = True
+        profile = KIND_PROFILES[AgentKind.BOT]
+        agent.share_probability = profile.share_probability
+        agent.mutate_probability = profile.mutate_probability
+        agent.attention = profile.attention
+        agent.ring = ring_id
+    return recruits

@@ -1,0 +1,108 @@
+"""NetworkedChain adapter semantics and world-state digests."""
+
+import pytest
+
+from repro.chain import BlockchainNetwork, LocalChain, NetworkedChain
+from repro.chain.state import WorldState
+from repro.errors import ContractError
+from repro.simnet import FixedLatency
+
+
+@pytest.fixture
+def chain(counter_contract_cls):
+    network = BlockchainNetwork(n_peers=4, consensus="poa", block_interval=0.2,
+                                latency=FixedLatency(0.01), seed=31)
+    adapter = NetworkedChain(network)
+    adapter.install_contract(counter_contract_cls())
+    return adapter
+
+
+def test_invoke_commits_and_returns_receipt(chain):
+    account = chain.new_account()
+    receipt = chain.invoke(account, "counter", "increment", {"amount": 2})
+    assert receipt.success and receipt.return_value == 2
+    assert chain.query("counter", "read") == 2
+
+
+def test_sequential_invokes_no_mvcc_churn(chain):
+    """The commit barrier makes back-to-back dependent txs just work."""
+    account = chain.new_account()
+    for expected in (1, 2, 3, 4):
+        receipt = chain.invoke(account, "counter", "increment")
+        assert receipt.return_value == expected
+    assert chain.query("counter", "read") == 4
+
+
+def test_contract_abort_raises(chain):
+    account = chain.new_account()
+    with pytest.raises(ContractError, match="deliberate"):
+        chain.invoke(account, "counter", "fail")
+
+
+def test_ledger_property_tracks_freshest_peer(chain):
+    account = chain.new_account()
+    chain.invoke(account, "counter", "increment")
+    assert chain.ledger.height >= 1
+    assert chain.ledger.verify_chain()
+
+
+def test_advance_time(chain):
+    before = chain.now
+    chain.advance_time(3.0)
+    assert chain.now == pytest.approx(before + 3.0)
+    with pytest.raises(ValueError):
+        chain.advance_time(-1)
+
+
+def test_interface_parity_with_localchain(counter_contract_cls):
+    """The same client code produces the same ledger-visible outcome on
+    both backends."""
+    local = LocalChain(seed=5)
+    local.install_contract(counter_contract_cls())
+    account = local.new_account()
+    local_value = local.invoke(account, "counter", "increment", {"amount": 7}).return_value
+
+    network = BlockchainNetwork(n_peers=4, consensus="poa", block_interval=0.2, seed=5)
+    adapter = NetworkedChain(network)
+    adapter.install_contract(counter_contract_cls())
+    networked_value = adapter.invoke(
+        adapter.new_account(), "counter", "increment", {"amount": 7}
+    ).return_value
+    assert local_value == networked_value == 7
+
+
+# -- state digests ---------------------------------------------------------------
+
+
+def test_state_digest_deterministic():
+    a, b = WorldState(), WorldState()
+    a.apply_write_set({"x": 1, "y": [1, 2]})
+    b.apply_write_set({"x": 1, "y": [1, 2]})
+    assert a.state_digest() == b.state_digest()
+
+
+def test_state_digest_detects_value_difference():
+    a, b = WorldState(), WorldState()
+    a.apply_write_set({"x": 1})
+    b.apply_write_set({"x": 2})
+    assert a.state_digest() != b.state_digest()
+
+
+def test_state_digest_detects_version_skew():
+    """Same values via different commit schedules must differ."""
+    a, b = WorldState(), WorldState()
+    a.apply_write_set({"x": 1})
+    b.apply_write_set({"y": 0})
+    b.apply_write_set({"x": 1, "y": None})
+    assert a.state_digest() != b.state_digest()
+
+
+def test_network_convergence_includes_state_digest(counter_contract_cls):
+    network = BlockchainNetwork(n_peers=4, consensus="poa", block_interval=0.2, seed=41)
+    network.install_contract(counter_contract_cls)
+    client = network.client()
+    client.invoke("counter", "increment", {"amount": 3})
+    network.run_for(3)
+    network.assert_convergence()  # block hashes AND state digests agree
+    digests = {p.state.state_digest() for p in network.peers}
+    assert len(digests) == 1

@@ -1,0 +1,116 @@
+"""Block building/validation and ledger append/query/audit."""
+
+import dataclasses
+import random
+
+import pytest
+
+from repro.chain.block import GENESIS_PREV_HASH, Block, make_genesis_block
+from repro.chain.ledger import Ledger
+from repro.chain.transaction import Transaction
+from repro.crypto import KeyPair
+from repro.errors import InvalidBlockError
+
+
+def _tx(keypair, nonce, contract="counter", method="increment"):
+    return Transaction.create(keypair, contract, method, {"n": nonce}, nonce=nonce)
+
+
+@pytest.fixture
+def keypair():
+    return KeyPair.generate(random.Random(0))
+
+
+@pytest.fixture
+def chain(keypair):
+    ledger = Ledger()
+    txs = [_tx(keypair, i) for i in range(3)]
+    block = Block.build(1, ledger.head.block_hash, 1.0, "peer-0", txs)
+    ledger.append(block, [True, True, False])
+    return ledger, txs
+
+
+def test_genesis_shape():
+    genesis = make_genesis_block()
+    assert genesis.height == 0
+    assert genesis.prev_hash == GENESIS_PREV_HASH
+    assert len(genesis) == 0
+    genesis.verify_structure()
+
+
+def test_block_hash_covers_header(keypair):
+    block = Block.build(1, "aa" * 32, 1.0, "p", [_tx(keypair, 1)])
+    tampered = dataclasses.replace(block, timestamp=2.0)
+    with pytest.raises(InvalidBlockError):
+        tampered.verify_structure()
+
+
+def test_block_merkle_covers_transactions(keypair):
+    block = Block.build(1, "aa" * 32, 1.0, "p", [_tx(keypair, 1)])
+    swapped = dataclasses.replace(block, transactions=(_tx(keypair, 2),))
+    with pytest.raises(InvalidBlockError):
+        swapped.verify_structure()
+
+
+def test_block_inclusion_proof(keypair):
+    txs = [_tx(keypair, i) for i in range(5)]
+    block = Block.build(1, "aa" * 32, 1.0, "p", txs)
+    proof = block.prove_inclusion(txs[2].tx_id)
+    assert proof.verify(block.merkle_root)
+    with pytest.raises(InvalidBlockError):
+        block.prove_inclusion("ff" * 32)
+
+
+def test_ledger_append_and_lookup(chain):
+    ledger, txs = chain
+    assert ledger.height == 1
+    committed = ledger.get_transaction(txs[0].tx_id)
+    assert committed is not None and committed.valid
+    assert ledger.get_transaction(txs[2].tx_id).valid is False
+    assert ledger.get_transaction("nope") is None
+    assert txs[1].tx_id in ledger
+
+
+def test_ledger_rejects_wrong_height(chain, keypair):
+    ledger, _ = chain
+    block = Block.build(5, ledger.head.block_hash, 2.0, "p", [])
+    with pytest.raises(InvalidBlockError):
+        ledger.append(block, [])
+
+
+def test_ledger_rejects_wrong_prev_hash(chain):
+    ledger, _ = chain
+    block = Block.build(2, "bb" * 32, 2.0, "p", [])
+    with pytest.raises(InvalidBlockError):
+        ledger.append(block, [])
+
+
+def test_ledger_rejects_validity_length_mismatch(chain, keypair):
+    ledger, _ = chain
+    block = Block.build(2, ledger.head.block_hash, 2.0, "p", [_tx(keypair, 10)])
+    with pytest.raises(InvalidBlockError):
+        ledger.append(block, [True, True])
+
+
+def test_transactions_iteration_valid_only(chain):
+    ledger, txs = chain
+    valid_ids = [c.transaction.tx_id for c in ledger.transactions()]
+    all_ids = [c.transaction.tx_id for c in ledger.transactions(valid_only=False)]
+    assert len(valid_ids) == 2 and len(all_ids) == 3
+
+
+def test_query_by_sender_and_contract(chain, keypair):
+    ledger, txs = chain
+    assert len(ledger.transactions_by_sender(keypair.address)) == 3
+    assert len(ledger.transactions_by_contract("counter")) == 3
+    assert ledger.transactions_by_contract("other") == []
+
+
+def test_verify_chain_passes(chain):
+    ledger, _ = chain
+    assert ledger.verify_chain()
+
+
+def test_total_transactions(chain):
+    ledger, _ = chain
+    assert ledger.total_transactions() == 3

@@ -1,0 +1,61 @@
+"""Mempool admission, FIFO, capacity."""
+
+import random
+
+import pytest
+
+from repro.chain import Mempool
+from repro.chain.transaction import Transaction
+from repro.crypto import KeyPair
+from repro.errors import ChainError
+
+
+def _tx(nonce):
+    return Transaction.create(KeyPair.generate(random.Random(nonce)), "c", "m", {}, nonce=nonce)
+
+
+def test_add_and_take_fifo():
+    pool = Mempool()
+    txs = [_tx(i) for i in range(5)]
+    for tx in txs:
+        assert pool.add(tx)
+    batch = pool.take(3)
+    assert [t.tx_id for t in batch] == [t.tx_id for t in txs[:3]]
+    assert len(pool) == 2
+
+
+def test_duplicate_rejected():
+    pool = Mempool()
+    tx = _tx(1)
+    assert pool.add(tx)
+    assert not pool.add(tx)
+    assert pool.rejected_duplicate == 1
+
+
+def test_capacity_enforced():
+    pool = Mempool(capacity=2)
+    assert pool.add(_tx(1)) and pool.add(_tx(2))
+    assert not pool.add(_tx(3))
+    assert pool.rejected_full == 1
+
+
+def test_take_more_than_available():
+    pool = Mempool()
+    pool.add(_tx(1))
+    assert len(pool.take(10)) == 1
+    assert len(pool) == 0
+
+
+def test_take_requires_positive():
+    with pytest.raises(ChainError):
+        Mempool().take(0)
+
+
+def test_remove_committed():
+    pool = Mempool()
+    txs = [_tx(i) for i in range(3)]
+    for tx in txs:
+        pool.add(tx)
+    pool.remove([txs[0].tx_id, txs[2].tx_id, "unknown"])
+    assert len(pool) == 1
+    assert txs[1].tx_id in pool

@@ -1,0 +1,76 @@
+"""Sharded parallel execution planning (ICDCS'18 substrate)."""
+
+import random
+
+import pytest
+
+from repro.chain.consensus.sharded import ShardedExecutor
+from repro.chain.transaction import Transaction
+from repro.crypto import KeyPair
+
+
+def _tx(nonce, reads=(), writes=()):
+    tx = Transaction.create(KeyPair.generate(random.Random(nonce)), "c", "m", {}, nonce=nonce)
+    return tx.with_execution(
+        read_set={k: 1 for k in reads},
+        write_set={k: "v" for k in writes},
+        events=(),
+        return_value=None,
+        endorsements=(),
+    )
+
+
+def test_disjoint_txs_parallelize():
+    executor = ShardedExecutor(n_shards=4)
+    txs = [_tx(i, writes=(f"key-{i}",)) for i in range(16)]
+    schedule = executor.plan_block(txs)
+    assert schedule.cross_shard_count == 0
+    assert schedule.local_count == 16
+    assert schedule.parallel_makespan < schedule.sequential_makespan
+    assert schedule.speedup > 1.5
+
+
+def test_single_shard_no_speedup():
+    executor = ShardedExecutor(n_shards=1)
+    txs = [_tx(i, writes=(f"key-{i}",)) for i in range(8)]
+    schedule = executor.plan_block(txs)
+    assert schedule.speedup == pytest.approx(1.0)
+
+
+def test_cross_shard_txs_serialize():
+    executor = ShardedExecutor(n_shards=4)
+    # Each tx touches many keys -> almost surely spans shards.
+    txs = [_tx(i, reads=tuple(f"r{i}-{j}" for j in range(6)), writes=(f"w{i}",)) for i in range(6)]
+    schedule = executor.plan_block(txs)
+    assert schedule.cross_shard_count > 0
+    assert schedule.cross_shard_gas > 0
+
+
+def test_empty_rwset_goes_to_shard_zero():
+    executor = ShardedExecutor(n_shards=4)
+    schedule = executor.plan_block([_tx(1)])
+    assert schedule.shard_loads[0] > 0
+    assert schedule.local_count == 1
+
+
+def test_cumulative_accounting():
+    executor = ShardedExecutor(n_shards=2)
+    executor.plan_block([_tx(i, writes=(f"k{i}",)) for i in range(4)])
+    executor.plan_block([_tx(i + 10, writes=(f"k{i+10}",)) for i in range(4)])
+    assert executor.blocks_planned == 2
+    assert executor.total_sequential_gas >= executor.total_parallel_gas
+    assert executor.cumulative_speedup >= 1.0
+
+
+def test_more_shards_never_slower():
+    txs = [_tx(i, writes=(f"key-{i}",)) for i in range(32)]
+    makespans = []
+    for shards in (1, 2, 4, 8):
+        schedule = ShardedExecutor(n_shards=shards).plan_block(list(txs))
+        makespans.append(schedule.parallel_makespan)
+    assert makespans == sorted(makespans, reverse=True)
+
+
+def test_invalid_shard_count():
+    with pytest.raises(ValueError):
+        ShardedExecutor(n_shards=0)

@@ -1,0 +1,113 @@
+"""Ledger analytics and the per-article audit bundle."""
+
+import pytest
+
+from repro.core import (
+    account_report,
+    propagation_timeline,
+    ranking_history,
+    topic_statistics,
+)
+from repro.corpus import CorpusGenerator
+from repro.corpus.mutations import relay
+from repro.errors import PlatformError
+
+
+@pytest.fixture
+def world(platform):
+    gen = CorpusGenerator(seed=55)
+    facts = {
+        "politics": gen.factual(topic="politics"),
+        "health": gen.factual(topic="health"),
+    }
+    for topic, fact in facts.items():
+        platform.seed_fact(f"f-{topic}", fact.text, "record", topic)
+    platform.register_participant("acme", role="publisher")
+    platform.create_distribution_platform("acme", "acme-news")
+    for topic in facts:
+        platform.create_news_room("acme", "acme-news", f"{topic}-desk", topic)
+    platform.register_participant("jane", role="journalist")
+    platform.authenticate_journalist("acme-news", "jane")
+    # Two faithful politics reports, one mutated health piece.
+    platform.publish_article("jane", "acme-news", "politics-desk", "p-1",
+                             relay(facts["politics"], "jane", 1.0).text, "politics")
+    platform.publish_article("jane", "acme-news", "politics-desk", "p-2",
+                             relay(facts["politics"], "jane", 2.0).text, "politics")
+    fake = gen.insertion_fake(relay(facts["health"], "x", 0.0), "jane", 3.0, n_insertions=4)
+    platform.publish_article("jane", "acme-news", "health-desk", "h-1", fake.text, "health")
+    return platform, gen, facts
+
+
+def test_topic_statistics(world):
+    platform, gen, facts = world
+    stats = {s.topic: s for s in topic_statistics(platform.graph)}
+    assert stats["politics"].articles == 2
+    assert stats["politics"].traceable_share == 1.0
+    assert stats["politics"].mean_provenance > 0.95
+    assert stats["health"].articles == 1
+    assert stats["health"].mean_modification > 0.2
+    assert stats["politics"].fact_roots == 1
+    assert "articles=" in stats["politics"].as_row()
+
+
+def test_account_report(world):
+    platform, gen, facts = world
+    report = account_report(platform.graph, platform.address_of("jane"))
+    assert report.articles == 3
+    assert set(report.topics) == {"politics", "health"}
+    assert report.traceable_share == 1.0
+    assert 0 < report.mean_provenance <= 1.0
+
+
+def test_account_report_unknown_address(world):
+    platform, *_ = world
+    report = account_report(platform.graph, "acct:" + "0" * 40)
+    assert report.articles == 0
+    assert report.traceable_share == 0.0
+
+
+def test_propagation_timeline(world):
+    platform, gen, facts = world
+    # p-2 relays p-1's text -> provenance edge to p-1; p-1's timeline
+    # gains one descendant at p-2's recording height.
+    timeline = propagation_timeline(platform.graph, "p-1")
+    assert timeline and timeline[-1][1] >= 1
+    heights = [h for h, _ in timeline]
+    assert heights == sorted(heights)
+    assert propagation_timeline(platform.graph, "missing") == []
+
+
+def test_ranking_history(world):
+    platform, gen, facts = world
+    platform.rank_article("p-1")
+    platform.rank_article("h-1")
+    history = ranking_history(platform.chain.ledger)
+    assert {h["article_id"] for h in history} == {"p-1", "h-1"}
+    only_p1 = ranking_history(platform.chain.ledger, article_id="p-1")
+    assert len(only_p1) == 1 and 0 <= only_p1[0]["final_score"] <= 1
+
+
+def test_export_audit_bundle(world):
+    platform, gen, facts = world
+    platform.register_participant("reader", role="checker")
+    platform.cast_vote("reader", "h-1", verdict=False)
+    platform.chain.invoke(
+        platform.account("reader"), "newsroom", "comment",
+        {"article_id": "h-1", "comment_id": "c-1", "content_hash": "deadbeef"},
+    )
+    platform.rank_article("h-1")
+    audit = platform.export_audit("h-1")
+    assert audit["node"]["article_id"] == "h-1"
+    assert audit["trace"]["traceable"] is True
+    assert audit["ranking"]["final_score"] <= 0.8
+    assert audit["votes"] == [
+        {"voter": platform.address_of("reader"), "verdict": False, "weight": 1.0}
+    ]
+    assert audit["comments"][0]["comment_id"] == "c-1"
+    assert audit["accountable_author"] == platform.address_of("jane")
+
+
+def test_export_audit_unknown_article(world):
+    platform, *_ = world
+    with pytest.raises(PlatformError):
+        platform.export_audit("nope")

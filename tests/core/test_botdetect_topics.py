@@ -1,0 +1,157 @@
+"""Bot-ring detection and topic classification."""
+
+import random
+
+import pytest
+
+from repro.core import (
+    account_activity_features,
+    bot_scores,
+    detect_bot_rings,
+)
+from repro.corpus import CorpusGenerator
+from repro.errors import MLError
+from repro.ml import TopicClassifier
+from repro.social import (
+    CascadeRunner,
+    bind_agents,
+    interconnect,
+    make_botnet,
+    make_population,
+    scale_free_follow_graph,
+)
+from repro.social.cascade import ShareEvent
+
+
+def _event(src, dst, op="relay", index=0):
+    return ShareEvent(time=0.0, round_index=0, agent_id=dst, source_agent_id=src,
+                      article_id=f"a-{src}-{dst}-{index}", parent_article_id="p", op=op)
+
+
+# -- feature extraction -----------------------------------------------------
+
+
+def test_activity_features_basic():
+    events = [_event("a", "b"), _event("a", "b", index=1), _event("b", "a"),
+              _event("c", "b", op="insert")]
+    features = account_activity_features(events)
+    b = features["b"]
+    assert b.shares == 3
+    assert b.distinct_sources == 2
+    assert b.reciprocity == pytest.approx(0.5)  # mutual with a, not with c
+    assert b.mutation_rate == pytest.approx(1 / 3)
+    assert features["a"].reciprocity == 1.0
+
+
+def test_ring_detection_on_synthetic_clique():
+    events = []
+    ring = ["r1", "r2", "r3", "r4"]
+    for repeat in range(2):  # repeated reciprocation = the coordination signature
+        for i, u in enumerate(ring):
+            for v in ring[i + 1:]:
+                events.append(_event(u, v, index=repeat))
+                events.append(_event(v, u, index=repeat))
+    # Organic chain: a -> b -> c (no reciprocity).
+    events += [_event("a", "b"), _event("b", "c")]
+    rings = detect_bot_rings(events)
+    assert rings == [set(ring)]
+
+
+def test_single_mutual_share_not_a_ring():
+    """One-off reciprocation is organic (mutual follows exist)."""
+    events = []
+    for u, v in (("a", "b"), ("b", "c"), ("c", "a")):
+        events.append(_event(u, v))
+        events.append(_event(v, u))
+    assert detect_bot_rings(events) == []
+
+
+def test_no_rings_in_tree_cascade():
+    events = [_event("root", f"child-{i}") for i in range(10)]
+    events += [_event(f"child-{i}", f"grand-{i}") for i in range(10)]
+    assert detect_bot_rings(events) == []
+
+
+def test_bot_scores_rank_ring_members_highest():
+    events = []
+    ring = ["r1", "r2", "r3"]
+    for repeat in range(2):
+        for i, u in enumerate(ring):
+            for v in ring[i + 1:]:
+                events.append(_event(u, v, index=repeat))
+                events.append(_event(v, u, index=repeat))
+    events += [_event("root", "organic"), _event("organic", "leaf")]
+    scores = bot_scores(events)
+    for member in ring:
+        assert scores[member] > 0.6
+    assert scores["organic"] < 0.5
+
+
+def test_bot_scores_empty():
+    assert bot_scores([]) == {}
+
+
+# -- end-to-end: planted botnet in a cascade ----------------------------------
+
+
+def test_planted_botnet_detected_in_cascade():
+    rng = random.Random(33)
+    graph = scale_free_follow_graph(300, seed=33)
+    agents = make_population(300, rng, bot_fraction=0.0)  # no organic bots
+    bind_agents(graph, agents)
+    recruits = make_botnet(agents, size=8, rng=rng, ring_id="troll-farm")
+    interconnect(graph, recruits)
+    corpus = CorpusGenerator(seed=34)
+    fake = corpus.insertion_fake(corpus.factual(), recruits[0].agent_id, 0.0)
+    # Seed at a ring member so the farm amplifies.
+    start_node = next(
+        node for node, attrs in graph.nodes(data=True)
+        if attrs["agent"].agent_id == recruits[0].agent_id
+    )
+    result = CascadeRunner(graph, corpus, rng=rng).run([(start_node, fake)], n_rounds=8)
+    rings = detect_bot_rings(result.events)
+    detected = set().union(*rings) if rings else set()
+    planted = {agent.agent_id for agent in recruits}
+    assert detected & planted == planted  # the whole farm caught
+    assert detected - planted == set()  # zero organic false positives
+    scores = bot_scores(result.events)
+    planted_mean = sum(scores[a] for a in planted if a in scores) / len(planted)
+    organic_scores = [s for agent_id, s in scores.items() if agent_id not in planted]
+    organic_mean = sum(organic_scores) / len(organic_scores)
+    assert planted_mean > organic_mean + 0.4
+
+
+# -- topic classification -------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def topic_data():
+    gen = CorpusGenerator(seed=44)
+    train = [gen.factual() for _ in range(240)]
+    test = [gen.factual() for _ in range(80)]
+    return train, test
+
+
+def test_topic_classifier_accuracy(topic_data):
+    train, test = topic_data
+    classifier = TopicClassifier().fit([a.text for a in train], [a.topic for a in train])
+    predictions = classifier.predict([a.text for a in test])
+    accuracy = sum(p == a.topic for p, a in zip(predictions, test)) / len(test)
+    assert accuracy > 0.9
+
+
+def test_topic_classifier_confidence(topic_data):
+    train, _ = topic_data
+    classifier = TopicClassifier().fit([a.text for a in train], [a.topic for a in train])
+    topic, confidence = classifier.confidence(train[0].text)
+    assert topic in classifier.topics
+    assert 0.0 <= confidence <= 1.0
+
+
+def test_topic_classifier_validation():
+    with pytest.raises(MLError):
+        TopicClassifier().fit([], [])
+    with pytest.raises(MLError):
+        TopicClassifier().fit(["a", "b"], ["politics", "politics"])
+    with pytest.raises(MLError):
+        TopicClassifier().predict(["text"])

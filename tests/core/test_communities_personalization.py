@@ -1,0 +1,156 @@
+"""Community detection, bridge accounts, personalized correction."""
+
+import random
+
+import pytest
+
+from repro.core import (
+    PersonalizedCampaign,
+    Receptivity,
+    assign_receptivity,
+    correction_acceptance,
+    detect_communities,
+    find_bridges,
+    interaction_graph,
+)
+from repro.social import CascadeRunner, bind_agents, make_population, polarized_follow_graph
+from repro.social.cascade import ShareEvent
+
+
+def _event(src: str, dst: str, index: int = 0) -> ShareEvent:
+    return ShareEvent(
+        time=0.0, round_index=0, agent_id=dst, source_agent_id=src,
+        article_id=f"a-{src}-{dst}-{index}", parent_article_id="root", op="relay",
+    )
+
+
+def test_interaction_graph_weights():
+    events = [_event("a", "b", 0), _event("a", "b", 1), _event("b", "c", 0)]
+    graph = interaction_graph(events)
+    assert graph["a"]["b"]["weight"] == 2
+    assert graph["b"]["c"]["weight"] == 1
+
+
+def test_interaction_graph_ignores_self_shares():
+    graph = interaction_graph([_event("a", "a")])
+    assert graph.number_of_edges() == 0
+
+
+def test_detect_communities_two_cliques():
+    events = []
+    for group, members in enumerate((["a", "b", "c", "d"], ["x", "y", "z", "w"])):
+        for i, u in enumerate(members):
+            for v in members[i + 1:]:
+                events.append(_event(u, v, group))
+    events.append(_event("a", "x"))  # one weak cross tie
+    assignment = detect_communities(interaction_graph(events))
+    assert assignment["a"] == assignment["b"] == assignment["c"] == assignment["d"]
+    assert assignment["x"] == assignment["y"] == assignment["z"] == assignment["w"]
+    assert assignment["a"] != assignment["x"]
+
+
+def test_detect_communities_empty():
+    import networkx as nx
+
+    assert detect_communities(nx.Graph()) == {}
+
+
+def test_bridges_found_on_cross_ties():
+    events = []
+    for group, members in enumerate((["a", "b", "c"], ["x", "y", "z"])):
+        for i, u in enumerate(members):
+            for v in members[i + 1:]:
+                events.append(_event(u, v, group))
+    events.append(_event("a", "x", 7))
+    graph = interaction_graph(events)
+    assignment = detect_communities(graph)
+    bridges = find_bridges(graph, assignment)
+    bridge_ids = {b.agent_id for b in bridges}
+    assert bridge_ids == {"a", "x"}
+    assert all(0 < b.bridge_score <= 1 for b in bridges)
+
+
+def test_cascade_on_polarized_graph_recovers_communities():
+    """Structure found from share events should align with the planted
+    two-community world far better than chance."""
+    rng = random.Random(5)
+    graph = polarized_follow_graph(200, p_within=0.06, seed=5)
+    agents = make_population(200, rng)
+    bind_agents(graph, agents)
+    from repro.corpus import CorpusGenerator
+
+    corpus = CorpusGenerator(seed=6)
+    hubs = sorted(graph.nodes(), key=lambda n: graph.out_degree(n), reverse=True)[:4]
+    seeds = [(hub, corpus.insertion_fake(corpus.factual(), "t", 0.0)) for hub in hubs]
+    result = CascadeRunner(graph, corpus).run(seeds, n_rounds=8)
+    igraph = interaction_graph(result.events)
+    assignment = detect_communities(igraph, max_communities=2)
+    if len(assignment) < 30:
+        pytest.skip("cascade too small to test alignment")
+    by_id = {a.agent_id: a for a in agents}
+    agreement = 0
+    pairs = 0
+    ids = sorted(assignment)
+    for i in range(0, len(ids) - 1, 2):
+        u, v = ids[i], ids[i + 1]
+        same_detected = assignment[u] == assignment[v]
+        same_true = by_id[u].community == by_id[v].community
+        agreement += int(same_detected == same_true)
+        pairs += 1
+    assert agreement / pairs > 0.6
+
+
+# -- personalization ----------------------------------------------------------
+
+
+def test_acceptance_probabilities_ordering():
+    # In-group always >= out-group; evidence helps the sensitive class.
+    for receptivity in Receptivity:
+        assert correction_acceptance(receptivity, True, 0.8) >= correction_acceptance(
+            receptivity, False, 0.8
+        )
+    weak = correction_acceptance(Receptivity.EVIDENCE_SENSITIVE, True, 0.1)
+    strong = correction_acceptance(Receptivity.EVIDENCE_SENSITIVE, True, 0.9)
+    assert strong > weak
+    assert correction_acceptance(Receptivity.ENTRENCHED, False, 1.0) < 0.05
+
+
+def test_acceptance_validates_evidence():
+    with pytest.raises(ValueError):
+        correction_acceptance(Receptivity.OPEN, True, 1.5)
+
+
+def test_assign_receptivity_fractions():
+    rng = random.Random(7)
+    agents = make_population(1000, rng)
+    classes = assign_receptivity(agents, rng, open_fraction=0.3, evidence_fraction=0.4)
+    counts = {r: 0 for r in Receptivity}
+    for value in classes.values():
+        counts[value] += 1
+    assert 250 < counts[Receptivity.OPEN] < 350
+    assert 350 < counts[Receptivity.EVIDENCE_SENSITIVE] < 450
+    assert 250 < counts[Receptivity.ENTRENCHED] < 360
+
+
+def test_assign_receptivity_validates():
+    with pytest.raises(ValueError):
+        assign_receptivity([], random.Random(0), open_fraction=0.7, evidence_fraction=0.5)
+
+
+def test_personalized_beats_blanket():
+    rng = random.Random(9)
+    agents = make_population(600, random.Random(10))
+    for index, agent in enumerate(agents):
+        agent.community = index % 3  # three communities, messengers cover one
+    receptivity = assign_receptivity(agents, random.Random(11))
+    campaign = PersonalizedCampaign(evidence_strength=0.8)
+    blanket = campaign.run(agents, receptivity, messenger_communities={0},
+                           rng=random.Random(12), personalize=False)
+    personalized = campaign.run(agents, receptivity, messenger_communities={0},
+                                rng=random.Random(12), personalize=True)
+    assert personalized > blanket
+
+
+def test_campaign_empty_exposed():
+    campaign = PersonalizedCampaign()
+    assert campaign.run([], {}, set(), random.Random(0)) == 0.0

@@ -1,0 +1,123 @@
+"""Management Act conduct reports, strikes, suspension, reinstatement."""
+
+import pytest
+
+
+from repro.corpus import CorpusGenerator
+from repro.corpus.mutations import relay
+from repro.errors import ContractError
+
+
+@pytest.fixture
+def world(platform):
+    # ConductContract is part of the platform's default install.
+    platform.register_participant("acme", role="publisher")
+    platform.create_distribution_platform("acme", "acme-news")
+    platform.create_news_room("acme", "acme-news", "desk", "politics")
+    platform.register_participant("troll", role="journalist")
+    platform.authenticate_journalist("acme-news", "troll")
+    platform.register_participant("flagger", role="checker")
+    return platform
+
+
+def _file(world, report_id, accused="troll", category="fake-news", stake=1.0,
+          reporter="flagger"):
+    return world.chain.invoke(
+        world.account(reporter), "conduct", "file_report",
+        {"report_id": report_id, "accused": world.address_of(accused),
+         "article_id": "a-x", "category": category, "stake": stake},
+    )
+
+
+def _adjudicate(world, report_id, upheld):
+    return world.chain.invoke(
+        world.governance, "conduct", "adjudicate",
+        {"report_id": report_id, "upheld": upheld},
+    )
+
+
+def test_file_and_uphold_gives_strike_and_bounty(world):
+    _file(world, "r-1")
+    record = _adjudicate(world, "r-1", True).return_value
+    assert record["status"] == "upheld"
+    assert record["payout"] == pytest.approx(3.0)  # stake back + bounty
+    standing = world.chain.query("conduct", "standing",
+                                 {"address": world.address_of("troll")})
+    assert standing == {"strikes": 1, "suspended": False}
+
+
+def test_dismissed_report_forfeits_stake(world):
+    _file(world, "r-1")
+    record = _adjudicate(world, "r-1", False).return_value
+    assert record["status"] == "dismissed" and record["payout"] == 0.0
+    standing = world.chain.query("conduct", "standing",
+                                 {"address": world.address_of("troll")})
+    assert standing["strikes"] == 0
+
+
+def test_three_strikes_suspends_and_blocks_publishing(world):
+    for index in range(3):
+        _file(world, f"r-{index}")
+        _adjudicate(world, f"r-{index}", True)
+    standing = world.chain.query("conduct", "standing",
+                                 {"address": world.address_of("troll")})
+    assert standing == {"strikes": 3, "suspended": True}
+    gen = CorpusGenerator(seed=1)
+    text = relay(gen.factual(topic="politics"), "troll", 0.0).text
+    with pytest.raises(ContractError, match="suspended"):
+        world.publish_article("troll", "acme-news", "desk", "blocked-1", text, "politics")
+
+
+def test_reinstatement_restores_publishing(world):
+    for index in range(3):
+        _file(world, f"r-{index}")
+        _adjudicate(world, f"r-{index}", True)
+    world.chain.invoke(world.governance, "conduct", "reinstate",
+                       {"address": world.address_of("troll")})
+    standing = world.chain.query("conduct", "standing",
+                                 {"address": world.address_of("troll")})
+    assert standing == {"strikes": 0, "suspended": False}
+    gen = CorpusGenerator(seed=2)
+    text = relay(gen.factual(topic="politics"), "troll", 0.0).text
+    published = world.publish_article("troll", "acme-news", "desk", "ok-1", text, "politics")
+    assert published.receipt.success
+
+
+def test_cannot_report_self(world):
+    with pytest.raises(ContractError, match="yourself"):
+        _file(world, "r-self", accused="flagger", reporter="flagger")
+
+
+def test_unknown_category_rejected(world):
+    with pytest.raises(ContractError, match="unknown category"):
+        _file(world, "r-cat", category="vibes")
+
+
+def test_reporter_cannot_adjudicate_own_report(world):
+    # Make flagger verified-adjudicator capable, then try self-adjudication.
+    _file(world, "r-own")
+    with pytest.raises(ContractError, match="own report"):
+        world.chain.invoke(world.account("flagger"), "conduct", "adjudicate",
+                           {"report_id": "r-own", "upheld": True})
+
+
+def test_double_adjudication_rejected(world):
+    _file(world, "r-1")
+    _adjudicate(world, "r-1", True)
+    with pytest.raises(ContractError, match="already adjudicated"):
+        _adjudicate(world, "r-1", False)
+
+
+def test_report_requires_registered_accused(world):
+    with pytest.raises(ContractError, match="not a registered identity"):
+        world.chain.invoke(
+            world.account("flagger"), "conduct", "file_report",
+            {"report_id": "r-ghost", "accused": "acct:" + "0" * 40,
+             "article_id": "a", "category": "spam", "stake": 1.0},
+        )
+
+
+def test_reinstate_requires_suspension(world):
+    with pytest.raises(ContractError, match="not suspended"):
+        world.chain.invoke(world.governance, "conduct", "reinstate",
+                           {"address": world.address_of("troll")})

@@ -1,0 +1,139 @@
+"""Validator voting, aggregation rules, accountability settlement."""
+
+import random
+
+import pytest
+
+from repro.chain import LocalChain
+from repro.core import IdentityContract, Validator, ValidatorPool, VoteContract
+from repro.errors import ContractError
+
+
+@pytest.fixture
+def rng():
+    return random.Random(17)
+
+
+def test_pool_generation_plants_bias(rng):
+    pool = ValidatorPool.generate(100, rng, biased_fraction=0.3)
+    assert sum(v.biased for v in pool.validators) == 30
+    assert all(0.7 <= v.accuracy <= 0.95 for v in pool.validators)
+
+
+def test_unbiased_validators_mostly_correct(rng):
+    pool = ValidatorPool.generate(200, rng, biased_fraction=0.0)
+    votes = pool.collect_votes(ground_truth_factual=True, rng=rng)
+    assert ValidatorPool.majority_share(votes) > 0.7
+
+
+def test_biased_validators_vote_party_line(rng):
+    validator = Validator("v", accuracy=0.9, biased=True, community=0)
+    # Article slanted toward community 0 -> always "factual".
+    assert all(validator.decide(False, 0, rng) for _ in range(20))
+    # Slanted toward the other side -> always "fake".
+    assert not any(validator.decide(True, 1, rng) for _ in range(20))
+
+
+def test_turnout_subsamples(rng):
+    pool = ValidatorPool.generate(100, rng)
+    votes = pool.collect_votes(True, rng, turnout=0.5)
+    assert 20 < len(votes) < 80
+
+
+def test_majority_vs_weighted_identical_when_weights_equal(rng):
+    pool = ValidatorPool.generate(50, rng)
+    votes = pool.collect_votes(True, rng)
+    assert ValidatorPool.majority_share(votes) == pytest.approx(
+        ValidatorPool.weighted_share(votes)
+    )
+
+
+def test_settlement_rewards_correct_and_slashes_wrong(rng):
+    pool = ValidatorPool(validators=[
+        Validator("good", accuracy=1.0),
+        Validator("bad", accuracy=0.0),
+    ])
+    for _ in range(10):
+        votes = pool.collect_votes(True, rng)
+        pool.settle(votes, outcome_factual=True)
+    good, bad = pool.validators
+    assert good.reputation > 1.0
+    assert bad.reputation == 0.0
+    assert bad.stake < 10.0  # slashed after reputation exhausted
+
+
+def test_weight_decay_shrinks_biased_influence(rng):
+    """The paper's claim: accountability beats majority under polarization."""
+    pool = ValidatorPool.generate(100, rng, biased_fraction=0.4)
+    # Repeated articles slanted toward community 0 that are actually fake.
+    for _ in range(12):
+        votes = pool.collect_votes(False, rng, article_slant=0)
+        pool.settle(votes, outcome_factual=False)
+    votes = pool.collect_votes(False, rng, article_slant=0)
+    majority = ValidatorPool.majority_share(votes)  # still poisoned
+    weighted = ValidatorPool.weighted_share(votes)  # bias squeezed out
+    assert weighted < majority
+    assert weighted < 0.5  # correct verdict: not factual
+
+
+def test_empty_votes_neutral():
+    assert ValidatorPool.majority_share([]) == 0.5
+    assert ValidatorPool.weighted_share([]) == 0.5
+
+
+# -- on-chain vote records -----------------------------------------------------
+
+
+@pytest.fixture
+def chain():
+    c = LocalChain(seed=4)
+    c.install_contract(IdentityContract())
+    c.install_contract(VoteContract())
+    return c
+
+
+def _voter(chain, name):
+    account = chain.new_account()
+    chain.invoke(account, "identity", "register", {"display_name": name, "role": "checker"})
+    return account
+
+
+def test_cast_and_tally(chain):
+    voters = [_voter(chain, f"v{i}") for i in range(4)]
+    for index, voter in enumerate(voters):
+        chain.invoke(voter, "votes", "cast",
+                     {"article_id": "a-1", "verdict": index < 3, "weight": 1.0})
+    tally = chain.query("votes", "tally", {"article_id": "a-1"})
+    assert tally == {"factual_share": 0.75, "votes": 4}
+
+
+def test_weighted_tally(chain):
+    heavy, light = _voter(chain, "heavy"), _voter(chain, "light")
+    chain.invoke(heavy, "votes", "cast", {"article_id": "a-1", "verdict": True, "weight": 0.9})
+    chain.invoke(light, "votes", "cast", {"article_id": "a-1", "verdict": False, "weight": 0.1})
+    tally = chain.query("votes", "tally", {"article_id": "a-1"})
+    assert tally["factual_share"] == pytest.approx(0.9)
+
+
+def test_double_vote_rejected(chain):
+    voter = _voter(chain, "v")
+    chain.invoke(voter, "votes", "cast", {"article_id": "a-1", "verdict": True, "weight": 1.0})
+    with pytest.raises(ContractError, match="already voted"):
+        chain.invoke(voter, "votes", "cast", {"article_id": "a-1", "verdict": False, "weight": 1.0})
+
+
+def test_unregistered_cannot_vote(chain):
+    rogue = chain.new_account()
+    with pytest.raises(ContractError, match="registered"):
+        chain.invoke(rogue, "votes", "cast", {"article_id": "a-1", "verdict": True, "weight": 1.0})
+
+
+def test_weight_bounds(chain):
+    voter = _voter(chain, "v")
+    with pytest.raises(ContractError):
+        chain.invoke(voter, "votes", "cast", {"article_id": "a-1", "verdict": True, "weight": 0.0})
+
+
+def test_tally_empty(chain):
+    tally = chain.query("votes", "tally", {"article_id": "nothing"})
+    assert tally == {"factual_share": 0.5, "votes": 0}

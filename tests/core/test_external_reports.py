@@ -1,0 +1,63 @@
+"""External-source referrals into the platform (§VI)."""
+
+import pytest
+
+from repro.corpus import CorpusGenerator
+from repro.corpus.mutations import relay
+
+
+@pytest.fixture
+def world(platform):
+    gen = CorpusGenerator(seed=91)
+    fact = gen.factual(topic="climate")
+    platform.seed_fact("f-c", fact.text, "climate-panel", "climate")
+    platform.register_participant("reader", role="consumer")
+    return platform, gen, fact
+
+
+def test_external_report_lands_on_supply_chain(world):
+    platform, gen, fact = world
+    referred = relay(fact, "other-outlet", 0.0)
+    published = platform.report_external(
+        "reader", "ext-1", referred.text, "climate", source="https://other.example/story"
+    )
+    assert published.fact_roots == ("f-c",)
+    assert published.modification_degree == pytest.approx(0.0)
+    node = platform.chain.query("supplychain", "get_node", {"article_id": "ext-1"})
+    assert node["op"] == "external-report"
+    trace = platform.trace("ext-1")
+    assert trace.traceable and trace.root == "fact:f-c"
+
+
+def test_external_report_rankable_and_auditable(world):
+    platform, gen, fact = world
+    platform.report_external("reader", "ext-1", relay(fact, "o", 0.0).text,
+                             "climate", source="https://o.example")
+    ranked = platform.rank_article("ext-1")
+    assert ranked.score > 0.9
+    audit = platform.export_audit("ext-1")
+    assert audit["node"]["op"] == "external-report"
+
+
+def test_external_fake_ranks_low(world):
+    platform, gen, fact = world
+    platform.report_external("reader", "ext-good", relay(fact, "o", 0.0).text,
+                             "climate", source="https://o.example")
+    fake = gen.insertion_fake(relay(fact, "o", 0.0), "troll", 1.0, n_insertions=4)
+    platform.report_external("reader", "ext-bad", fake.text,
+                             "climate", source="https://sus.example")
+    good = platform.rank_article("ext-good")
+    bad = platform.rank_article("ext-bad")
+    assert good.score > bad.score
+
+
+def test_external_report_becomes_parent_for_later_content(world):
+    platform, gen, fact = world
+    referred = relay(fact, "o", 0.0)
+    platform.report_external("reader", "ext-1", referred.text, "climate",
+                             source="https://o.example")
+    echoed = relay(referred, "reader2", 1.0)
+    platform.register_participant("reader2", role="consumer")
+    second = platform.report_external("reader2", "ext-2", echoed.text, "climate",
+                                      source="https://echo.example")
+    assert "ext-1" in second.parents

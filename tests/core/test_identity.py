@@ -1,0 +1,92 @@
+"""Identity registration, verification web-of-trust, role gating."""
+
+import pytest
+
+from repro.chain import LocalChain
+from repro.core import IdentityContract
+from repro.errors import ContractError
+
+
+@pytest.fixture
+def chain():
+    c = LocalChain(seed=1)
+    c.install_contract(IdentityContract())
+    return c
+
+
+def test_register_and_get(chain):
+    alice = chain.new_account()
+    record = chain.invoke(alice, "identity", "register",
+                          {"display_name": "alice", "role": "journalist"}).return_value
+    assert record["verified"] is False
+    fetched = chain.query("identity", "get_identity", {"address": alice.address})
+    assert fetched["display_name"] == "alice"
+
+
+def test_register_rejects_unknown_role(chain):
+    alice = chain.new_account()
+    with pytest.raises(ContractError, match="unknown role"):
+        chain.invoke(alice, "identity", "register", {"display_name": "a", "role": "emperor"})
+
+
+def test_register_rejects_empty_name(chain):
+    alice = chain.new_account()
+    with pytest.raises(ContractError):
+        chain.invoke(alice, "identity", "register", {"display_name": "", "role": "consumer"})
+
+
+def test_double_registration_rejected(chain):
+    alice = chain.new_account()
+    chain.invoke(alice, "identity", "register", {"display_name": "a", "role": "consumer"})
+    with pytest.raises(ContractError, match="already registered"):
+        chain.invoke(alice, "identity", "register", {"display_name": "a2", "role": "consumer"})
+
+
+def test_first_verifier_becomes_governance_root(chain):
+    root = chain.new_account()
+    alice = chain.new_account()
+    chain.invoke(alice, "identity", "register", {"display_name": "a", "role": "consumer"})
+    chain.invoke(root, "identity", "verify", {"address": alice.address})
+    record = chain.query("identity", "get_identity", {"address": alice.address})
+    assert record["verified"] and record["verified_by"] == root.address
+
+
+def test_unverified_cannot_attest(chain):
+    root = chain.new_account()
+    alice, bob, mallory = chain.new_account(), chain.new_account(), chain.new_account()
+    for account, name in ((alice, "a"), (bob, "b"), (mallory, "m")):
+        chain.invoke(account, "identity", "register", {"display_name": name, "role": "consumer"})
+    chain.invoke(root, "identity", "verify", {"address": alice.address})  # root bootstrap
+    with pytest.raises(ContractError, match="only verified"):
+        chain.invoke(mallory, "identity", "verify", {"address": bob.address})
+
+
+def test_verified_can_attest_chain_of_trust(chain):
+    root, alice, bob = chain.new_account(), chain.new_account(), chain.new_account()
+    chain.invoke(alice, "identity", "register", {"display_name": "a", "role": "consumer"})
+    chain.invoke(bob, "identity", "register", {"display_name": "b", "role": "consumer"})
+    chain.invoke(root, "identity", "verify", {"address": alice.address})
+    chain.invoke(alice, "identity", "verify", {"address": bob.address})
+    assert chain.query("identity", "get_identity", {"address": bob.address})["verified"]
+
+
+def test_double_verification_rejected(chain):
+    root, alice = chain.new_account(), chain.new_account()
+    chain.invoke(alice, "identity", "register", {"display_name": "a", "role": "consumer"})
+    chain.invoke(root, "identity", "verify", {"address": alice.address})
+    with pytest.raises(ContractError, match="already verified"):
+        chain.invoke(root, "identity", "verify", {"address": alice.address})
+
+
+def test_verify_unregistered_rejected(chain):
+    root = chain.new_account()
+    with pytest.raises(ContractError, match="no identity"):
+        chain.invoke(root, "identity", "verify", {"address": "acct:" + "0" * 40})
+
+
+def test_events_on_ledger(chain):
+    root, alice = chain.new_account(), chain.new_account()
+    chain.invoke(alice, "identity", "register", {"display_name": "a", "role": "checker"})
+    chain.invoke(root, "identity", "verify", {"address": alice.address})
+    kinds = [e["kind"] for e in chain.ledger.events(contract="identity")]
+    assert kinds == ["identity-registered", "identity-verified"]

@@ -1,0 +1,166 @@
+"""Containment reports, messenger selection, correction; predictors."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CorrectionCampaign,
+    FakeRiskPredictor,
+    ViralityPredictor,
+    community_exposure,
+    containment_report,
+    select_messengers,
+    author_history_features,
+    early_cascade_features,
+    build_supply_chain_graph,
+)
+from repro.corpus import CorpusGenerator
+from repro.errors import MLError
+from repro.social import (
+    AgentKind,
+    CascadeRunner,
+    bind_agents,
+    build_social_world,
+    make_population,
+    polarized_follow_graph,
+)
+
+
+def _cascade(seed=33, n_agents=300):
+    graph, agents, corpus = build_social_world(n_agents=n_agents, seed=seed)
+    hub = max(graph.nodes(), key=lambda n: graph.out_degree(n))
+    article = corpus.insertion_fake(corpus.factual(), "troll", 0.0)
+    result = CascadeRunner(graph, corpus).run([(hub, article)], n_rounds=10)
+    return graph, agents, corpus, article, result
+
+
+def test_containment_report_shapes():
+    _, _, _, article, result = _cascade()
+    report = containment_report(result, article.article_id, flag_round=2)
+    assert report.final_reach == result.reach(article.article_id)
+    assert report.reach_at_flag <= report.final_reach
+    assert 0.0 <= report.containment <= 1.0
+
+
+def test_containment_on_stopped_cascade():
+    _, _, _, article, result = _cascade()
+    # Flag at the very end: no post-flag growth -> containment 1 (or no
+    # pre-growth edge case 0).
+    last = len(result.reach_curve(article.article_id)) - 1
+    report = containment_report(result, article.article_id, flag_round=last)
+    assert report.growth_after == 0.0
+
+
+def test_community_exposure_partition():
+    rng = random.Random(0)
+    graph = polarized_follow_graph(200, seed=3)
+    agents = make_population(200, rng)
+    bind_agents(graph, agents)
+    corpus = CorpusGenerator(seed=3)
+    hub = max(graph.nodes(), key=lambda n: graph.out_degree(n))
+    article = corpus.insertion_fake(corpus.factual(), "troll", 0.0)
+    result = CascadeRunner(graph, corpus).run([(hub, article)], n_rounds=8)
+    agents_by_id = {a.agent_id: a for a in agents}
+    exposure = community_exposure(result, article.article_id, agents_by_id)
+    assert sum(exposure.values()) == result.reach(article.article_id)
+    assert set(exposure) <= {0, 1}
+
+
+def test_messenger_selection_prefers_ingroup_journalists():
+    rng = random.Random(1)
+    agents = make_population(100, rng, journalist_fraction=0.1)
+    for index, agent in enumerate(agents):
+        agent.community = index % 2
+    messengers = select_messengers(agents, target_community=1, k=3)
+    assert len(messengers) == 3
+    assert all(m.community == 1 for m in messengers)
+    assert all(not m.malicious for m in messengers)
+    journalists_available = [
+        a for a in agents if a.community == 1 and a.kind is AgentKind.JOURNALIST and not a.malicious
+    ]
+    if journalists_available:
+        assert messengers[0].kind is AgentKind.JOURNALIST
+
+
+def test_correction_ingroup_beats_outgroup():
+    rng_a, rng_b = random.Random(2), random.Random(2)
+    agents = make_population(400, random.Random(3))
+    for agent in agents:
+        agent.community = 0
+    campaign = CorrectionCampaign()
+    in_group = [a for a in agents if not a.malicious][:2]
+    out_group = make_population(2, random.Random(4))
+    for messenger in out_group:
+        messenger.community = 1
+    accept_in = campaign.run(agents, in_group, rng_a)
+    accept_out = campaign.run(agents, out_group, rng_b)
+    assert accept_in > accept_out
+
+
+def test_correction_empty_exposed():
+    assert CorrectionCampaign().run([], [], random.Random(0)) == 0.0
+
+
+# -- prediction ------------------------------------------------------------------
+
+
+def test_author_history_features_from_ledger(platform):
+    platform.register_participant("acme", role="publisher")
+    platform.create_distribution_platform("acme", "acme-news")
+    platform.create_news_room("acme", "acme-news", "desk", "politics")
+    gen = CorpusGenerator(seed=40)
+    seed_article = gen.factual(topic="politics")
+    platform.seed_fact("f-1", seed_article.text, "record", "politics")
+    platform.publish_article("acme", "acme-news", "desk", "a-1", seed_article.text, "politics")
+    features = author_history_features(platform.graph, platform.address_of("acme"))
+    assert features[0] == 1.0  # volume
+    assert features[1] == pytest.approx(0.0, abs=0.05)  # mean degree
+    # Unknown author gets priors.
+    assert author_history_features(platform.graph, "acct:" + "f" * 40) == [0.0, 0.5, 0.5]
+
+
+def test_fake_risk_predictor_separates(platform):
+    gen = CorpusGenerator(seed=41)
+    corpus = gen.labeled_corpus(n_factual=120, n_fake=120)
+    graph = platform.graph  # empty history: content features carry it
+    predictor = FakeRiskPredictor().fit(corpus.articles, graph)
+    test_corpus = CorpusGenerator(seed=42).labeled_corpus(n_factual=40, n_fake=40)
+    risks = predictor.risk(test_corpus.articles, graph)
+    labels = np.array([int(a.label_fake) for a in test_corpus.articles])
+    assert risks[labels == 1].mean() > risks[labels == 0].mean() + 0.2
+
+
+def test_fake_risk_unfitted_raises(platform):
+    with pytest.raises(MLError):
+        FakeRiskPredictor().risk([], platform.graph)
+
+
+def test_early_cascade_features_shape():
+    graph, agents, corpus, article, result = _cascade(seed=50)
+    agents_by_id = {a.agent_id: a for a in agents}
+    features = early_cascade_features(result, article.article_id, agents_by_id, upto_round=3)
+    assert len(features) == 5
+    assert features[0] >= 0  # shares
+    assert 0 <= features[2] <= 1  # bot fraction
+
+
+def test_virality_predictor_end_to_end():
+    rows, reaches = [], []
+    for trial in range(24):
+        graph, agents, corpus, article, result = _cascade(seed=60 + trial, n_agents=250)
+        agents_by_id = {a.agent_id: a for a in agents}
+        rows.append(early_cascade_features(result, article.article_id, agents_by_id, upto_round=3))
+        reaches.append(result.reach(article.article_id))
+    threshold = int(np.median(reaches))
+    predictor = ViralityPredictor(viral_threshold=max(2, threshold)).fit(rows, reaches)
+    probabilities = predictor.predict_viral(rows)
+    labels = np.array([int(r >= max(2, threshold)) for r in reaches])
+    # Early telemetry should separate viral from fizzled in-sample.
+    assert probabilities[labels == 1].mean() > probabilities[labels == 0].mean()
+
+
+def test_virality_predictor_needs_both_classes():
+    with pytest.raises(MLError):
+        ViralityPredictor(viral_threshold=1).fit([[1.0] * 5, [2.0] * 5], [5, 6])

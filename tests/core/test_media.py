@@ -1,0 +1,103 @@
+"""Media fingerprint registry and the deepfake path through publishing."""
+
+import numpy as np
+import pytest
+
+from repro.corpus import CorpusGenerator
+from repro.corpus.mutations import relay
+from repro.errors import ContractError
+from repro.ml import capture_signal, tamper_signal
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(21)
+
+
+@pytest.fixture
+def newsroom_platform(platform):
+    gen = CorpusGenerator(seed=90)
+    fact = gen.factual(topic="politics")
+    platform.seed_fact("f-1", fact.text, "record", "politics")
+    platform.register_participant("acme", role="publisher")
+    platform.create_distribution_platform("acme", "acme-news")
+    platform.create_news_room("acme", "acme-news", "desk", "politics")
+    platform.register_participant("cam", role="journalist")
+    platform.authenticate_journalist("acme-news", "cam")
+    return platform, fact
+
+
+def test_register_and_assess_authentic(newsroom_platform, rng):
+    platform, fact = newsroom_platform
+    signal = capture_signal(rng)
+    platform.register_media("cam", "clip-1", signal, "press conference")
+    assert platform.assess_media("clip-1", signal) == 0.0
+
+
+def test_assess_tampered(newsroom_platform, rng):
+    platform, fact = newsroom_platform
+    signal = capture_signal(rng)
+    platform.register_media("cam", "clip-1", signal)
+    tampered, _ = tamper_signal(signal, rng)
+    assert platform.assess_media("clip-1", tampered) > 0.05
+
+
+def test_unregistered_media_scores_unverifiable(newsroom_platform, rng):
+    platform, fact = newsroom_platform
+    assert platform.assess_media("ghost-clip", capture_signal(rng)) == 1.0
+
+
+def test_duplicate_media_id_rejected(newsroom_platform, rng):
+    platform, fact = newsroom_platform
+    signal = capture_signal(rng)
+    platform.register_media("cam", "clip-1", signal)
+    with pytest.raises(ContractError, match="already registered"):
+        platform.register_media("cam", "clip-1", signal)
+
+
+def test_publish_with_authentic_media_keeps_score(newsroom_platform, rng, trained_scorer):
+    platform, fact = newsroom_platform
+    platform.scorer = trained_scorer
+    signal = capture_signal(rng)
+    platform.register_media("cam", "clip-1", signal)
+    report = relay(fact, "cam", 1.0)
+    published = platform.publish_article(
+        "cam", "acme-news", "desk", "a-1", report.text, "politics",
+        media=[("clip-1", signal)],
+    )
+    assert published.ai_score is not None and published.ai_score < 0.5
+
+
+def test_publish_with_deepfaked_media_condemns_article(newsroom_platform, rng, trained_scorer):
+    """Neutral text + tampered clip -> high P(fake): the fusion path."""
+    platform, fact = newsroom_platform
+    platform.scorer = trained_scorer
+    signal = capture_signal(rng)
+    platform.register_media("cam", "clip-1", signal)
+    tampered, _ = tamper_signal(signal, rng, n_segments=6)
+    report = relay(fact, "cam", 1.0)
+    published = platform.publish_article(
+        "cam", "acme-news", "desk", "a-2", report.text, "politics",
+        media=[("clip-1", tampered)],
+    )
+    assert published.ai_score > 0.2
+    # The assessment itself landed on the ledger.
+    events = list(platform.chain.ledger.events(contract="media", kind="media-assessed"))
+    assert events and events[-1]["article_id"] == "a-2"
+    # And the ranking feels it.
+    clean = platform.publish_article(
+        "cam", "acme-news", "desk", "a-3", relay(fact, "cam", 2.0).text, "politics",
+        media=[("clip-1", signal)],
+    )
+    fake_rank = platform.rank_article("a-2")
+    clean_rank = platform.rank_article("a-3")
+    assert fake_rank.score < clean_rank.score
+
+
+def test_assessment_requires_registered_media(newsroom_platform, rng):
+    platform, fact = newsroom_platform
+    with pytest.raises(ContractError, match="no media"):
+        platform.chain.invoke(
+            platform.governance, "media", "record_assessment",
+            {"media_id": "ghost", "article_id": "a-1", "tamper_score": 0.5},
+        )

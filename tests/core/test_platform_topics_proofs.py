@@ -1,0 +1,71 @@
+"""Platform topic routing and article inclusion proofs."""
+
+import pytest
+
+from repro.corpus import CorpusGenerator
+from repro.corpus.mutations import relay
+from repro.errors import PlatformError
+
+
+@pytest.fixture
+def world(platform):
+    gen = CorpusGenerator(seed=64)
+    fact = gen.factual(topic="sports")
+    platform.seed_fact("f-s", fact.text, "league-record", "sports")
+    platform.register_participant("espn", role="publisher")
+    platform.create_distribution_platform("espn", "espn-wire")
+    platform.create_news_room("espn", "espn-wire", "scores", "sports")
+    return platform, gen, fact
+
+
+def test_topic_routing(world):
+    platform, gen, fact = world
+    train = [gen.factual() for _ in range(160)]
+    platform.train_topic_model([a.text for a in train], [a.topic for a in train])
+    sports_article = gen.factual(topic="sports")
+    topic, confidence = platform.suggest_topic(sports_article.text)
+    assert topic == "sports"
+    assert confidence > 0.5
+
+
+def test_suggest_topic_requires_training(world):
+    platform, *_ = world
+    with pytest.raises(PlatformError, match="train_topic_model"):
+        platform.suggest_topic("anything")
+
+
+def test_prove_article_inclusion(world):
+    platform, gen, fact = world
+    platform.publish_article("espn", "espn-wire", "scores", "s-1",
+                             relay(fact, "espn", 1.0).text, "sports")
+    proof = platform.prove_article("s-1")
+    assert proof["verified"] is True
+    block = platform.chain.ledger.block(proof["block_height"])
+    assert block.merkle_root == proof["merkle_root"]
+    assert proof["proof"].verify(block.merkle_root)
+    # Proof against the wrong root fails.
+    other_block = platform.chain.ledger.block(max(0, proof["block_height"] - 1))
+    assert not proof["proof"].verify(other_block.merkle_root)
+
+
+def test_prove_unknown_article(world):
+    platform, *_ = world
+    with pytest.raises(PlatformError, match="no supply-chain record"):
+        platform.prove_article("ghost")
+
+
+def test_rank_room_orders_articles(world):
+    platform, gen, fact = world
+    platform.publish_article("espn", "espn-wire", "scores", "rr-good",
+                             relay(fact, "espn", 1.0).text, "sports")
+    fake = gen.insertion_fake(relay(fact, "e", 0.0), "espn", 2.0, n_insertions=4)
+    platform.publish_article("espn", "espn-wire", "scores", "rr-bad", fake.text, "sports")
+    ranked = platform.rank_room("espn-wire", "scores")
+    assert [r.article_id for r in ranked][0] == "rr-good"
+    assert ranked[0].score > ranked[-1].score
+    assert {r.article_id for r in ranked} == {"rr-good", "rr-bad"}
+
+
+def test_rank_room_empty(world):
+    platform, *_ = world
+    assert platform.rank_room("espn-wire", "empty-room") == []

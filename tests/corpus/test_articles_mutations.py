@@ -1,0 +1,144 @@
+"""Article synthesis, mutation operators, and ground-truth labelling."""
+
+import random
+
+import pytest
+
+from repro.corpus import (
+    FAKE_DISTORTION_THRESHOLD,
+    distort,
+    insert,
+    measured_change,
+    merge,
+    mix,
+    relay,
+    split,
+    topic_by_name,
+)
+from repro.corpus.articles import make_fabricated_article, make_factual_article
+from repro.errors import CorpusError
+
+
+@pytest.fixture
+def rng():
+    return random.Random(7)
+
+
+@pytest.fixture
+def factual(rng):
+    return make_factual_article(topic_by_name("politics"), "alice", 0.0, rng).with_id("a-1")
+
+
+@pytest.fixture
+def second(rng):
+    return make_factual_article(topic_by_name("politics"), "bob", 0.0, rng).with_id("a-2")
+
+
+def test_factual_article_is_factual(factual):
+    assert not factual.label_fake
+    assert factual.cumulative_distortion == 0.0
+    assert len(factual.sentences) == 6
+
+
+def test_fabricated_article_is_fake(rng):
+    fake = make_fabricated_article(topic_by_name("health"), "troll", 0.0, rng)
+    assert fake.label_fake and fake.fabricated
+    assert fake.op == "fabricate"
+
+
+def test_relay_preserves_everything(factual):
+    shared = relay(factual, "carol", 1.0)
+    assert shared.text == factual.text
+    assert shared.modification_degree == 0.0
+    assert shared.distortion == 0.0
+    assert not shared.label_fake
+    assert shared.parents == ("a-1",)
+
+
+def test_split_keeps_subset(factual, rng):
+    quoted = split(factual, "carol", 1.0, rng, keep_fraction=0.5)
+    assert len(quoted.sentences) < len(factual.sentences)
+    assert not quoted.label_fake  # mild context loss stays factual
+    assert 0 < quoted.modification_degree < 1
+
+
+def test_split_validates_fraction(factual, rng):
+    with pytest.raises(CorpusError):
+        split(factual, "x", 0.0, rng, keep_fraction=0.0)
+
+
+def test_insert_adds_emotional_content(factual, rng):
+    mutated = insert(factual, "troll", 1.0, rng, n_insertions=3)
+    assert len(mutated.sentences) == len(factual.sentences) + 3
+    assert mutated.label_fake  # 3 insertions on 6 sentences crosses threshold
+    assert mutated.modification_degree > 0
+
+
+def test_single_insertion_stays_factual(factual, rng):
+    # One hedged sentence in six is below the fake threshold — nuance,
+    # not fakery.
+    mutated = insert(factual, "columnist", 1.0, rng, n_insertions=1)
+    assert not mutated.label_fake
+
+
+def test_insert_requires_positive_count(factual, rng):
+    with pytest.raises(CorpusError):
+        insert(factual, "x", 0.0, rng, n_insertions=0)
+
+
+def test_mix_combines_two_parents(factual, second, rng):
+    blended = mix(factual, second, "mixer", 1.0, rng)
+    assert set(blended.parents) == {"a-1", "a-2"}
+    assert len(blended.sentences) == len(factual.sentences) + len(second.sentences)
+    assert not blended.label_fake  # one mix alone is below threshold
+    assert blended.distortion == pytest.approx(0.2)
+
+
+def test_merge_is_nearly_free(factual, second):
+    digest = merge([factual, second], "aggregator", 1.0)
+    assert not digest.label_fake
+    assert digest.distortion == pytest.approx(0.02)
+    assert set(digest.parents) == {"a-1", "a-2"}
+
+
+def test_merge_requires_two(factual):
+    with pytest.raises(CorpusError):
+        merge([factual], "x", 0.0)
+
+
+def test_distort_small_edit_big_damage(factual, rng):
+    twisted = distort(factual, "troll", 1.0, rng)
+    assert twisted.label_fake
+    # The hallmark: low token change, high distortion.
+    assert twisted.modification_degree < 0.35
+    assert twisted.distortion == pytest.approx(0.6)
+
+
+def test_distortion_accumulates_along_chains(factual, rng):
+    step1 = mix(factual, relay(factual, "x", 0.0).with_id("a-3"), "y", 1.0, rng).with_id("a-4")
+    step2 = mix(step1, factual, "z", 2.0, rng).with_id("a-5")
+    assert step1.cumulative_distortion == pytest.approx(0.2)
+    assert step2.cumulative_distortion == pytest.approx(0.4)
+    assert step2.label_fake  # two mixes cross the threshold together
+
+
+def test_fabricated_lineage_stays_fake(rng):
+    fake = make_fabricated_article(topic_by_name("politics"), "troll", 0.0, rng).with_id("f-1")
+    laundered = relay(fake, "innocent", 1.0)
+    assert laundered.label_fake  # relaying a fabrication does not clean it
+    assert laundered.fabricated
+
+
+def test_measured_change_bounds():
+    assert measured_change(["a b c"], "a b c") == 0.0
+    assert measured_change(["a b c"], "x y z") == 1.0
+    assert 0 < measured_change(["a b c d"], "a b x y") < 1
+
+
+def test_measured_change_empty():
+    assert measured_change([""], "") == 0.0
+    assert measured_change([], "anything") == 1.0
+
+
+def test_threshold_constant_sane():
+    assert 0 < FAKE_DISTORTION_THRESHOLD < 1

@@ -1,0 +1,103 @@
+"""Corpus generator: label balance, the 72.3% calibration, determinism."""
+
+import pytest
+
+from repro.corpus import PAPER_MUTATED_FAKE_FRACTION, CorpusGenerator
+from repro.errors import CorpusError
+
+
+@pytest.fixture
+def gen():
+    return CorpusGenerator(seed=5)
+
+
+def test_label_counts_exact(gen):
+    corpus = gen.labeled_corpus(n_factual=80, n_fake=60)
+    assert len(corpus.factual) == 80
+    assert len(corpus.fakes) == 60
+    assert len(corpus) == 140
+
+
+def test_mutated_fake_fraction_matches_paper(gen):
+    corpus = gen.labeled_corpus(n_factual=100, n_fake=200)
+    mutated = [a for a in corpus.fakes if a.parents and not a.fabricated]
+    fabricated = [a for a in corpus.fakes if a.fabricated and not a.parents]
+    assert len(mutated) == round(200 * PAPER_MUTATED_FAKE_FRACTION)
+    assert len(mutated) + len(fabricated) == 200
+
+
+def test_custom_mutation_fraction(gen):
+    corpus = gen.labeled_corpus(n_factual=50, n_fake=100, mutated_fake_fraction=0.5)
+    mutated = [a for a in corpus.fakes if a.parents and not a.fabricated]
+    assert len(mutated) == 50
+
+
+def test_benign_derivations_present_and_factual(gen):
+    corpus = gen.labeled_corpus(n_factual=100, n_fake=10)
+    derived_factual = [a for a in corpus.factual if a.parents]
+    assert derived_factual, "corpus should include honest relays/quotes"
+    assert all(not a.label_fake for a in derived_factual)
+
+
+def test_determinism():
+    a = CorpusGenerator(seed=42).labeled_corpus(50, 50)
+    b = CorpusGenerator(seed=42).labeled_corpus(50, 50)
+    assert [x.article_id for x in a] == [x.article_id for x in b]
+    assert [x.text for x in a] == [x.text for x in b]
+
+
+def test_different_seeds_differ():
+    a = CorpusGenerator(seed=1).labeled_corpus(30, 30)
+    b = CorpusGenerator(seed=2).labeled_corpus(30, 30)
+    assert [x.text for x in a] != [x.text for x in b]
+
+
+def test_unique_ids(gen):
+    corpus = gen.labeled_corpus(100, 100)
+    ids = [a.article_id for a in corpus]
+    assert len(set(ids)) == len(ids)
+
+
+def test_by_id_lookup(gen):
+    corpus = gen.labeled_corpus(20, 20)
+    first = corpus.articles[0]
+    assert corpus.by_id[first.article_id] is first
+
+
+def test_texts_and_labels_aligned(gen):
+    corpus = gen.labeled_corpus(30, 30)
+    texts, labels = corpus.texts_and_labels()
+    assert len(texts) == len(labels) == 60
+    for article, label in zip(corpus.articles, labels):
+        assert label == int(article.label_fake)
+
+
+def test_malicious_derivation_always_fake(gen):
+    parent = gen.factual()
+    for _ in range(25):
+        fake = gen.malicious_derivation(parent, gen.next_author(), 1.0)
+        assert fake.label_fake
+
+
+def test_benign_derivation_never_fake(gen):
+    originals = [gen.factual() for _ in range(5)]
+    for _ in range(25):
+        derived = gen.benign_derivation(originals[0], gen.next_author(), 1.0, pool=originals)
+        assert not derived.label_fake
+
+
+def test_topic_pinning(gen):
+    article = gen.factual(topic="health")
+    assert article.topic == "health"
+
+
+def test_invalid_params(gen):
+    with pytest.raises(CorpusError):
+        gen.labeled_corpus(n_factual=1, n_fake=5)
+    with pytest.raises(CorpusError):
+        gen.labeled_corpus(mutated_fake_fraction=1.5)
+
+
+def test_timestamps_monotonic(gen):
+    corpus = gen.labeled_corpus(20, 20, start_time=100.0, time_step=2.0)
+    assert all(a.timestamp >= 100.0 for a in corpus)

@@ -1,0 +1,53 @@
+"""Corpus JSONL serialization round-trips."""
+
+import pytest
+
+from repro.corpus import CorpusGenerator
+from repro.corpus.io import article_from_dict, article_to_dict, load_corpus, save_corpus
+from repro.errors import CorpusError
+
+
+def test_article_roundtrip(corpus_gen):
+    article = corpus_gen.malicious_derivation(corpus_gen.factual(), "troll", 3.0)
+    restored = article_from_dict(article_to_dict(article))
+    assert restored == article
+
+
+def test_corpus_roundtrip(tmp_path, corpus_gen):
+    corpus = corpus_gen.labeled_corpus(n_factual=30, n_fake=30)
+    path = tmp_path / "corpus.jsonl"
+    written = save_corpus(corpus, path)
+    assert written == 60
+    restored = load_corpus(path)
+    assert len(restored) == 60
+    assert [a.article_id for a in restored] == [a.article_id for a in corpus]
+    assert [a.label_fake for a in restored] == [a.label_fake for a in corpus]
+    assert restored.by_id[corpus.articles[0].article_id].text == corpus.articles[0].text
+
+
+def test_load_skips_blank_lines(tmp_path, corpus_gen):
+    corpus = corpus_gen.labeled_corpus(n_factual=5, n_fake=5)
+    path = tmp_path / "corpus.jsonl"
+    save_corpus(corpus, path)
+    content = path.read_text()
+    path.write_text(content.replace("\n", "\n\n", 3))
+    assert len(load_corpus(path)) == 10
+
+
+def test_load_rejects_bad_json(tmp_path):
+    path = tmp_path / "bad.jsonl"
+    path.write_text('not json\n')
+    with pytest.raises(CorpusError, match="invalid JSON"):
+        load_corpus(path)
+
+
+def test_load_rejects_incomplete_record(tmp_path):
+    path = tmp_path / "incomplete.jsonl"
+    path.write_text('{"article_id": "a"}\n')
+    with pytest.raises(CorpusError, match="missing field"):
+        load_corpus(path)
+
+
+def test_missing_field_rejected():
+    with pytest.raises(CorpusError, match="missing field"):
+        article_from_dict({"article_id": "a", "topic": "politics"})

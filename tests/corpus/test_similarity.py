@@ -1,0 +1,91 @@
+"""Shingles, Jaccard, MinHash estimation, cosine similarity."""
+
+import pytest
+
+from repro.corpus import (
+    CorpusGenerator,
+    cosine_similarity,
+    estimated_jaccard,
+    jaccard,
+    minhash_signature,
+    shingles,
+    tokenize,
+)
+
+
+def test_tokenize_normalizes():
+    assert tokenize("Hello, World! 42") == ["hello", "world", "42"]
+    assert tokenize("") == []
+
+
+def test_shingles_basic():
+    result = shingles("a b c d", k=3)
+    assert result == {"a b c", "b c d"}
+
+
+def test_shingles_short_text():
+    assert shingles("a b", k=3) == {"a b"}
+    assert shingles("", k=3) == set()
+
+
+def test_jaccard_bounds():
+    a, b = {"x", "y"}, {"y", "z"}
+    assert jaccard(a, a) == 1.0
+    assert jaccard(a, {"q"}) == 0.0
+    assert jaccard(a, b) == pytest.approx(1 / 3)
+    assert jaccard(set(), set()) == 1.0
+    assert jaccard(a, set()) == 0.0
+
+
+def test_minhash_identical_sets():
+    sh = shingles("the quick brown fox jumps over the lazy dog", 2)
+    sig = minhash_signature(sh)
+    assert estimated_jaccard(sig, sig) == 1.0
+
+
+def test_minhash_estimates_jaccard():
+    gen = CorpusGenerator(seed=8)
+    parent = gen.factual()
+    child = gen.relay_derivation(parent, "x", 1.0)
+    other = gen.factual()
+    sh_parent, sh_child, sh_other = (
+        shingles(parent.text), shingles(child.text), shingles(other.text)
+    )
+    exact_close = jaccard(sh_child, sh_parent)
+    exact_far = jaccard(sh_child, sh_other)
+    est_close = estimated_jaccard(minhash_signature(sh_child), minhash_signature(sh_parent))
+    est_far = estimated_jaccard(minhash_signature(sh_child), minhash_signature(sh_other))
+    assert abs(est_close - exact_close) < 0.2
+    assert est_close > est_far  # ordering preserved
+
+
+def test_minhash_signature_length_mismatch():
+    with pytest.raises(ValueError):
+        estimated_jaccard((1, 2), (1, 2, 3))
+
+
+def test_minhash_empty_set():
+    sig = minhash_signature(set(), n_hashes=16)
+    assert len(sig) == 16
+
+
+def test_cosine_identical():
+    assert cosine_similarity("a b c", "a b c") == pytest.approx(1.0)
+
+
+def test_cosine_disjoint():
+    assert cosine_similarity("a b", "x y") == 0.0
+
+
+def test_cosine_empty():
+    assert cosine_similarity("", "a") == 0.0
+
+
+def test_cosine_order_blind():
+    assert cosine_similarity("a b c", "c b a") == pytest.approx(1.0)
+
+
+def test_shingle_similarity_order_sensitive():
+    # Unlike cosine, shingles notice reordering — why provenance uses them.
+    same_words_reordered = jaccard(shingles("a b c d e f"), shingles("f e d c b a"))
+    assert same_words_reordered < 0.5

@@ -1,0 +1,105 @@
+"""Ed25519 against RFC 8032 vectors, plus negative/malleability cases."""
+
+import pytest
+
+from repro.crypto import ed25519
+from repro.errors import CryptoError
+
+# RFC 8032 §7.1 test vectors (seed, public key, message, signature).
+RFC8032_VECTORS = [
+    (
+        "9d61b19deffd5a60ba844af492ec2cc44449c5697b326919703bac031cae7f60",
+        "d75a980182b10ab7d54bfed3c964073a0ee172f3daa62325af021a68f707511a",
+        "",
+        "e5564300c360ac729086e2cc806e828a84877f1eb8e5d974d873e06522490155"
+        "5fb8821590a33bacc61e39701cf9b46bd25bf5f0595bbe24655141438e7a100b",
+    ),
+    (
+        "4ccd089b28ff96da9db6c346ec114e0f5b8a319f35aba624da8cf6ed4fb8a6fb",
+        "3d4017c3e843895a92b70aa74d1b7ebc9c982ccf2ec4968cc0cd55f12af4660c",
+        "72",
+        "92a009a9f0d4cab8720e820b5f642540a2b27b5416503f8fb3762223ebdb69da"
+        "085ac1e43e15996e458f3613d0f11d8c387b2eaeb4302aeeb00d291612bb0c00",
+    ),
+    (
+        "c5aa8df43f9f837bedb7442f31dcb7b166d38535076f094b85ce3a2e0b4458f7",
+        "fc51cd8e6218a1a38da47ed00230f0580816ed13ba3303ac5deb911548908025",
+        "af82",
+        "6291d657deec24024827e69c3abe01a30ce548a284743a445e3680d7db5ac3ac"
+        "18ff9b538d16f290ae67f760984dc6594a7c15e9716ed28dc027beceea1ec40a",
+    ),
+]
+
+
+@pytest.mark.parametrize("seed_hex,pub_hex,msg_hex,sig_hex", RFC8032_VECTORS)
+def test_rfc8032_public_key(seed_hex, pub_hex, msg_hex, sig_hex):
+    assert ed25519.generate_public_key(bytes.fromhex(seed_hex)).hex() == pub_hex
+
+
+@pytest.mark.parametrize("seed_hex,pub_hex,msg_hex,sig_hex", RFC8032_VECTORS)
+def test_rfc8032_signature(seed_hex, pub_hex, msg_hex, sig_hex):
+    signature = ed25519.sign(bytes.fromhex(seed_hex), bytes.fromhex(msg_hex))
+    assert signature.hex() == sig_hex
+
+
+@pytest.mark.parametrize("seed_hex,pub_hex,msg_hex,sig_hex", RFC8032_VECTORS)
+def test_rfc8032_verify_roundtrip(seed_hex, pub_hex, msg_hex, sig_hex):
+    assert ed25519.verify(
+        bytes.fromhex(pub_hex), bytes.fromhex(msg_hex), bytes.fromhex(sig_hex)
+    )
+
+
+def test_wrong_message_rejected():
+    seed = bytes(range(32))
+    public = ed25519.generate_public_key(seed)
+    signature = ed25519.sign(seed, b"hello")
+    assert not ed25519.verify(public, b"hellx", signature)
+
+
+def test_wrong_key_rejected():
+    seed_a, seed_b = bytes(range(32)), bytes(range(1, 33))
+    signature = ed25519.sign(seed_a, b"msg")
+    assert not ed25519.verify(ed25519.generate_public_key(seed_b), b"msg", signature)
+
+
+def test_flipped_signature_bit_rejected():
+    seed = bytes(range(32))
+    public = ed25519.generate_public_key(seed)
+    signature = bytearray(ed25519.sign(seed, b"msg"))
+    signature[0] ^= 0x01
+    assert not ed25519.verify(public, b"msg", bytes(signature))
+
+
+def test_high_s_rejected():
+    """Signatures with s >= L are non-canonical and must be rejected."""
+    seed = bytes(range(32))
+    public = ed25519.generate_public_key(seed)
+    signature = bytearray(ed25519.sign(seed, b"msg"))
+    # Force the scalar half to a value >= L.
+    signature[32:] = (2**252 + 27742317777372353535851937790883648493).to_bytes(32, "little")
+    assert not ed25519.verify(public, b"msg", bytes(signature))
+
+
+def test_malformed_lengths_rejected():
+    seed = bytes(range(32))
+    public = ed25519.generate_public_key(seed)
+    signature = ed25519.sign(seed, b"msg")
+    assert not ed25519.verify(public[:31], b"msg", signature)
+    assert not ed25519.verify(public, b"msg", signature[:63])
+
+
+def test_bad_seed_length_raises():
+    with pytest.raises(CryptoError):
+        ed25519.generate_public_key(b"short")
+    with pytest.raises(CryptoError):
+        ed25519.sign(b"short", b"msg")
+
+
+def test_signature_deterministic():
+    seed = bytes(range(32))
+    assert ed25519.sign(seed, b"same") == ed25519.sign(seed, b"same")
+
+
+def test_distinct_messages_distinct_signatures():
+    seed = bytes(range(32))
+    assert ed25519.sign(seed, b"a") != ed25519.sign(seed, b"b")

@@ -1,0 +1,80 @@
+"""Merkle tree construction, proofs, and tamper detection."""
+
+import pytest
+
+from repro.crypto import EMPTY_ROOT, MerkleProof, MerkleTree
+from repro.crypto.hashing import sha256_hex
+
+
+def _leaves(n: int) -> list[str]:
+    return [sha256_hex(f"leaf-{i}".encode()) for i in range(n)]
+
+
+def test_empty_tree_has_sentinel_root():
+    assert MerkleTree([]).root == EMPTY_ROOT
+
+
+def test_single_leaf_proof():
+    tree = MerkleTree(_leaves(1))
+    assert tree.prove(0).verify(tree.root)
+
+
+@pytest.mark.parametrize("n", [2, 3, 4, 5, 7, 8, 16, 33])
+def test_all_proofs_verify(n):
+    tree = MerkleTree(_leaves(n))
+    for index in range(n):
+        assert tree.prove(index).verify(tree.root), f"proof {index}/{n} failed"
+
+
+def test_proof_fails_against_wrong_root():
+    tree_a = MerkleTree(_leaves(5))
+    tree_b = MerkleTree(_leaves(6))
+    assert not tree_a.prove(2).verify(tree_b.root)
+
+
+def test_proof_for_tampered_leaf_fails():
+    leaves = _leaves(8)
+    tree = MerkleTree(leaves)
+    proof = tree.prove(3)
+    tampered = MerkleProof(leaf=_leaves(9)[8], index=3, path=proof.path)
+    assert not tampered.verify(tree.root)
+
+
+def test_root_changes_with_any_leaf():
+    leaves = _leaves(8)
+    base_root = MerkleTree(leaves).root
+    for index in range(8):
+        mutated = list(leaves)
+        mutated[index] = sha256_hex(b"evil")
+        assert MerkleTree(mutated).root != base_root
+
+
+def test_root_changes_with_leaf_order():
+    leaves = _leaves(4)
+    swapped = [leaves[1], leaves[0]] + leaves[2:]
+    assert MerkleTree(leaves).root != MerkleTree(swapped).root
+
+
+def test_leaf_interior_domain_separation():
+    """A single leaf's root must differ from a tree whose 'leaf' equals
+    that root — the classic second-preimage confusion."""
+    single = MerkleTree(_leaves(1))
+    nested = MerkleTree([single.root])
+    assert nested.root != single.root
+
+
+def test_prove_out_of_range():
+    tree = MerkleTree(_leaves(3))
+    with pytest.raises(IndexError):
+        tree.prove(3)
+    with pytest.raises(IndexError):
+        tree.prove(-1)
+
+
+def test_root_of_matches_tree():
+    leaves = _leaves(10)
+    assert MerkleTree.root_of(leaves) == MerkleTree(leaves).root
+
+
+def test_len():
+    assert len(MerkleTree(_leaves(7))) == 7

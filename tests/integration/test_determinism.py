@@ -1,0 +1,71 @@
+"""Whole-system determinism: same seeds, bit-identical ledgers.
+
+Reproducibility is a design invariant (DESIGN.md §6): every random
+draw flows through explicit seeds, so running the same scenario twice
+must produce identical chains — block hashes, state digests, rankings,
+everything.  This is what makes every experiment in EXPERIMENTS.md
+exactly re-runnable.
+"""
+
+from repro.core import TrustingNewsPlatform
+from repro.corpus import CorpusGenerator
+from repro.corpus.mutations import relay
+from repro.social import build_social_world, run_races
+
+
+def _run_scenario(seed: int) -> TrustingNewsPlatform:
+    platform = TrustingNewsPlatform(seed=seed)
+    gen = CorpusGenerator(seed=seed + 1)
+    fact = gen.factual(topic="economy")
+    platform.seed_fact("f-d", fact.text, "stats", "economy")
+    platform.register_participant("pub", role="publisher")
+    platform.create_distribution_platform("pub", "det-wire")
+    platform.create_news_room("pub", "det-wire", "desk", "economy")
+    platform.register_participant("journo", role="journalist")
+    platform.authenticate_journalist("det-wire", "journo")
+    for index in range(4):
+        if index % 2 == 0:
+            article = relay(fact, "journo", float(index))
+        else:
+            article = gen.malicious_derivation(relay(fact, "x", 0.0), "journo", float(index))
+        platform.publish_article("journo", "det-wire", "desk", f"d-{index}",
+                                 article.text, "economy")
+        platform.register_participant(f"v-{index}", role="checker")
+        platform.cast_vote(f"v-{index}", f"d-{index}", verdict=index % 2 == 0)
+        platform.rank_article(f"d-{index}")
+    return platform
+
+
+def test_platform_ledger_bit_identical_across_runs():
+    a = _run_scenario(seed=4242)
+    b = _run_scenario(seed=4242)
+    assert a.chain.ledger.height == b.chain.ledger.height
+    for height in range(a.chain.ledger.height + 1):
+        assert (
+            a.chain.ledger.block(height).block_hash
+            == b.chain.ledger.block(height).block_hash
+        ), f"divergence at height {height}"
+    assert a.chain.state.state_digest() == b.chain.state.state_digest()
+
+
+def test_different_seed_different_ledger():
+    a = _run_scenario(seed=4242)
+    b = _run_scenario(seed=4243)
+    assert a.chain.state.state_digest() != b.chain.state.state_digest()
+
+
+def test_social_world_deterministic():
+    first = build_social_world(n_agents=150, seed=9)
+    second = build_social_world(n_agents=150, seed=9)
+    assert sorted(first[0].edges()) == sorted(second[0].edges())
+    assert [(a.agent_id, a.kind, a.malicious) for a in first[1]] == [
+        (a.agent_id, a.kind, a.malicious) for a in second[1]
+    ]
+
+
+def test_race_summary_deterministic():
+    a = run_races(n_trials=3, n_agents=150, seed=77, intervene=True)
+    b = run_races(n_trials=3, n_agents=150, seed=77, intervene=True)
+    assert a.mean_factual == b.mean_factual
+    assert a.mean_fake == b.mean_fake
+    assert a.mean_fake_curve == b.mean_fake_curve

@@ -1,0 +1,117 @@
+"""Integration: the full Fig. 1 pipeline and Fig. 4 cascade-on-chain flow."""
+
+import pytest
+
+from repro.core import ExpertFinder, TrustingNewsPlatform, ValidatorPool, containment_report
+from repro.corpus import CorpusGenerator
+from repro.corpus.mutations import relay
+from repro.social import CascadeRunner, build_social_world
+
+
+@pytest.fixture(scope="module")
+def cascade_platform():
+    """A platform that ingested a full social cascade onto its chain."""
+    platform = TrustingNewsPlatform(seed=81)
+    graph, agents, corpus = build_social_world(n_agents=250, seed=81)
+    fact = corpus.factual(topic="elections")
+    platform.seed_fact("f-root", fact.text, "count-certification", "elections")
+    # The originator publishes through a proper newsroom.
+    platform.register_participant("wire", role="publisher")
+    platform.create_distribution_platform("wire", "wire-svc")
+    platform.create_news_room("wire", "wire-svc", "votes", "elections")
+    report = relay(fact, "wire", 0.5)
+    published = platform.publish_article("wire", "wire-svc", "votes", report.article_id or "seed-art",
+                                         report.text, "elections")
+    seed_article = corpus.relay_derivation(fact, "agent-00000", 0.0)
+    # Bind the cascade to the chain: every share becomes a transaction.
+    runner = CascadeRunner(
+        graph, corpus,
+        on_share=lambda event, article: platform.ingest_share(event, article, topic="elections"),
+    )
+    # Seed the cascade with an on-chain article.
+    platform.ingest_share(
+        type("E", (), {"agent_id": "agent-00000", "parent_article_id": published.article_id,
+                       "op": "relay", "article_id": seed_article.article_id})(),
+        seed_article, topic="elections",
+    )
+    hub = max(graph.nodes(), key=lambda n: graph.out_degree(n))
+    result = runner.run([(hub, seed_article)], n_rounds=8)
+    return platform, result, published, seed_article, agents
+
+
+def test_every_share_recorded_on_chain(cascade_platform):
+    platform, result, published, seed, agents = cascade_platform
+    graph = platform.graph
+    for event in result.events:
+        assert event.article_id in graph, f"share {event.article_id} missing from ledger graph"
+
+
+def test_cascade_lineage_traces_to_fact(cascade_platform):
+    platform, result, published, seed, agents = cascade_platform
+    relays = [e for e in result.events if e.op == "relay"]
+    assert relays
+    trace = platform.trace(relays[0].article_id)
+    assert trace.traceable
+    assert trace.root == "fact:f-root"
+
+
+def test_mutated_shares_score_lower(cascade_platform):
+    platform, result, published, seed, agents = cascade_platform
+    mutated = [e for e in result.events if e.op in ("insert", "distort")]
+    faithful = [e for e in result.events if e.op == "relay"]
+    if not mutated:
+        pytest.skip("this seed produced no malicious shares")
+    mut_scores = [platform.trace(e.article_id).provenance_score for e in mutated[:10]]
+    rel_scores = [platform.trace(e.article_id).provenance_score for e in faithful[:10]]
+    assert sum(mut_scores) / len(mut_scores) < sum(rel_scores) / len(rel_scores)
+
+
+def test_ledger_audit_after_cascade(cascade_platform):
+    platform, *_ = cascade_platform
+    assert platform.chain.ledger.verify_chain()
+    stats = platform.stats()
+    assert stats["articles"] > 10
+    assert stats["supply_chain_edges"] >= stats["articles"] - 2
+
+
+def test_expert_mining_on_cascade_ledger(cascade_platform):
+    platform, result, published, seed, agents = cascade_platform
+    finder = ExpertFinder(platform.graph, min_articles=1)
+    scores = finder.scores("elections")
+    assert scores  # someone earned standing
+    assert all(0 <= s.mean_provenance <= 1 for s in scores)
+
+
+def test_containment_report_integrates(cascade_platform):
+    platform, result, published, seed, agents = cascade_platform
+    report = containment_report(result, seed.article_id, flag_round=2)
+    assert report.final_reach >= report.reach_at_flag
+
+
+def test_full_crowd_pipeline(platform, trained_scorer):
+    """Publish -> AI -> crowd -> rank -> promote, all signals live."""
+    import random
+
+    platform.scorer = trained_scorer
+    gen = CorpusGenerator(seed=83)
+    fact = gen.factual(topic="economy")
+    platform.seed_fact("f-e", fact.text, "stats-office", "economy")
+    platform.register_participant("ft", role="publisher")
+    platform.create_distribution_platform("ft", "ft-wire")
+    platform.create_news_room("ft", "ft-wire", "macro", "economy")
+    report = relay(fact, "ft", 1.0)
+    platform.publish_article("ft", "ft-wire", "macro", "econ-1", report.text, "economy")
+    # Simulated validator crowd votes on-chain.
+    rng = random.Random(0)
+    pool = ValidatorPool.generate(12, rng)
+    votes = pool.collect_votes(ground_truth_factual=True, rng=rng)
+    for index, vote in enumerate(votes):
+        platform.register_participant(f"v-{index}", role="checker")
+        platform.cast_vote(f"v-{index}", "econ-1", vote.verdict, weight=max(0.01, min(1.0, vote.weight)))
+    ranked = platform.rank_article("econ-1")
+    assert ranked.crowd_score is not None and ranked.crowd_score > 0.6
+    assert ranked.ai_score is not None and ranked.ai_score > 0.4
+    assert ranked.provenance_score == pytest.approx(1.0)
+    assert ranked.score > 0.75
+    platform.promote_to_factual("econ-1")
+    assert len(platform.facts(topic="economy")) == 2

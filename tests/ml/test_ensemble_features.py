@@ -1,0 +1,78 @@
+"""Stylometric features, ensemble fusion, FakeNewsScorer contract."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MLError
+from repro.ml import FEATURE_NAMES, FakeNewsScorer, StylometricExtractor, roc_auc
+
+
+def test_feature_vector_shape():
+    X = StylometricExtractor().transform(["a plain sentence.", "another one here."])
+    assert X.shape == (2, len(FEATURE_NAMES))
+
+
+def test_emotional_rate_detects_loaded_language():
+    extractor = StylometricExtractor()
+    neutral = "the committee approved the budget at the capitol"
+    loaded = "the shocking outrageous scandal is a devastating disaster"
+    X = extractor.transform([neutral, loaded])
+    emotional_idx = FEATURE_NAMES.index("emotional_rate")
+    assert X[1, emotional_idx] > X[0, emotional_idx]
+
+
+def test_clickbait_hits_counted():
+    extractor = StylometricExtractor()
+    text = "you will not believe what happened next. this changes everything."
+    X = extractor.transform([text])
+    assert X[0, FEATURE_NAMES.index("clickbait_hits")] == 2.0
+
+
+def test_attribution_rate():
+    extractor = StylometricExtractor()
+    sourced = "the figures were correct, said the minister. she stated the plan."
+    unsourced = "the figures were wrong and everyone knows it already now."
+    X = extractor.transform([sourced, unsourced])
+    idx = FEATURE_NAMES.index("attribution_rate")
+    assert X[0, idx] > X[1, idx]
+
+
+def test_empty_text_is_finite():
+    X = StylometricExtractor().transform([""])
+    assert np.all(np.isfinite(X))
+
+
+def test_scorer_end_to_end(trained_scorer, eval_corpus):
+    texts, labels = eval_corpus.texts_and_labels()
+    scores = trained_scorer.score(texts)
+    assert scores.shape == (len(texts),)
+    assert np.all((scores >= 0) & (scores <= 1))
+    assert roc_auc(np.array(labels), scores) > 0.85
+
+
+def test_scorer_score_one(trained_scorer, eval_corpus):
+    article = eval_corpus.articles[0]
+    score = trained_scorer.score_one(article.text)
+    assert 0.0 <= score <= 1.0
+
+
+def test_scorer_predict_threshold(trained_scorer, eval_corpus):
+    texts, labels = eval_corpus.texts_and_labels()
+    predictions = trained_scorer.predict(texts)
+    assert float(np.mean(predictions == np.array(labels))) > 0.8
+
+
+def test_scorer_unfitted_raises():
+    with pytest.raises(MLError):
+        FakeNewsScorer().score(["text"])
+
+
+def test_scorer_length_mismatch():
+    with pytest.raises(MLError):
+        FakeNewsScorer().fit(["a"], [0, 1])
+
+
+def test_ensemble_beats_or_matches_worst_member(trained_scorer, eval_corpus):
+    """Fusion sanity: the ensemble shouldn't collapse below chance."""
+    texts, labels = eval_corpus.texts_and_labels()
+    assert roc_auc(np.array(labels), trained_scorer.score(texts)) > 0.5

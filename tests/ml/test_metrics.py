@@ -1,0 +1,98 @@
+"""Classification metrics, including exact AUC with ties."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MLError
+from repro.ml import (
+    accuracy,
+    classification_report,
+    confusion_matrix,
+    f1_score,
+    precision,
+    precision_at_k,
+    recall,
+    roc_auc,
+)
+
+Y_TRUE = np.array([0, 0, 1, 1, 1, 0])
+Y_PRED = np.array([0, 1, 1, 1, 0, 0])
+
+
+def test_confusion_matrix():
+    tn, fp, fn, tp = confusion_matrix(Y_TRUE, Y_PRED)
+    assert (tn, fp, fn, tp) == (2, 1, 1, 2)
+
+
+def test_accuracy():
+    assert accuracy(Y_TRUE, Y_PRED) == pytest.approx(4 / 6)
+
+
+def test_precision_recall_f1():
+    assert precision(Y_TRUE, Y_PRED) == pytest.approx(2 / 3)
+    assert recall(Y_TRUE, Y_PRED) == pytest.approx(2 / 3)
+    assert f1_score(Y_TRUE, Y_PRED) == pytest.approx(2 / 3)
+
+
+def test_degenerate_precision_recall():
+    y = np.array([0, 0])
+    pred = np.array([0, 0])
+    assert precision(y, pred) == 0.0
+    assert recall(y, pred) == 0.0
+    assert f1_score(y, pred) == 0.0
+
+
+def test_auc_perfect_ranking():
+    assert roc_auc(np.array([0, 0, 1, 1]), np.array([0.1, 0.2, 0.8, 0.9])) == 1.0
+
+
+def test_auc_inverted_ranking():
+    assert roc_auc(np.array([0, 0, 1, 1]), np.array([0.9, 0.8, 0.2, 0.1])) == 0.0
+
+
+def test_auc_random_is_half():
+    assert roc_auc(np.array([0, 1, 0, 1]), np.array([0.5, 0.5, 0.5, 0.5])) == pytest.approx(0.5)
+
+
+def test_auc_ties_use_midranks():
+    # Pairwise: (0.9 beats 0.5), (0.9 beats 0.1), (0.5 ties 0.5 -> 0.5),
+    # (0.5 beats 0.1): AUC = (1 + 1 + 0.5 + 1) / 4.
+    y = np.array([1, 1, 0, 0])
+    s = np.array([0.9, 0.5, 0.5, 0.1])
+    assert roc_auc(y, s) == pytest.approx(0.875)
+
+
+def test_auc_needs_both_classes():
+    with pytest.raises(MLError):
+        roc_auc(np.array([1, 1]), np.array([0.1, 0.9]))
+
+
+def test_precision_at_k():
+    y = np.array([1, 0, 1, 0, 0])
+    s = np.array([0.9, 0.8, 0.7, 0.2, 0.1])
+    assert precision_at_k(y, s, 1) == 1.0
+    assert precision_at_k(y, s, 2) == 0.5
+    assert precision_at_k(y, s, 3) == pytest.approx(2 / 3)
+
+
+def test_precision_at_k_range():
+    with pytest.raises(MLError):
+        precision_at_k(np.array([1, 0]), np.array([0.5, 0.5]), 3)
+
+
+def test_length_mismatch_raises():
+    with pytest.raises(MLError):
+        accuracy(np.array([1]), np.array([1, 0]))
+
+
+def test_empty_raises():
+    with pytest.raises(MLError):
+        accuracy(np.array([]), np.array([]))
+
+
+def test_classification_report_bundle():
+    scores = np.array([0.2, 0.7, 0.9, 0.8, 0.4, 0.1])
+    report = classification_report(Y_TRUE, Y_PRED, scores)
+    assert report.accuracy == pytest.approx(4 / 6)
+    assert 0 <= report.auc <= 1
+    assert "acc=" in report.as_row("name")

@@ -1,0 +1,108 @@
+"""NB, logistic regression, SVM: correctness on separable data, API misuse."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MLError
+from repro.ml import LinearSVM, LogisticRegression, MultinomialNaiveBayes
+
+
+@pytest.fixture
+def separable():
+    """Two well-separated clusters of count-like features."""
+    rng = np.random.default_rng(0)
+    X0 = rng.poisson(lam=[5, 1, 1, 5], size=(60, 4)).astype(float)
+    X1 = rng.poisson(lam=[1, 5, 5, 1], size=(60, 4)).astype(float)
+    X = np.vstack([X0, X1])
+    y = np.array([0] * 60 + [1] * 60)
+    return X, y
+
+
+MODELS = [
+    lambda: MultinomialNaiveBayes(),
+    lambda: LogisticRegression(),
+    lambda: LinearSVM(),
+]
+
+
+@pytest.mark.parametrize("factory", MODELS)
+def test_fits_separable_data(factory, separable):
+    X, y = separable
+    model = factory().fit(X, y)
+    accuracy = float(np.mean(model.predict(X) == y))
+    assert accuracy > 0.9
+
+
+@pytest.mark.parametrize("factory", MODELS)
+def test_score_fake_in_unit_interval(factory, separable):
+    X, y = separable
+    model = factory().fit(X, y)
+    scores = model.score_fake(X)
+    assert np.all((scores >= 0) & (scores <= 1))
+    # Positive examples score higher on average.
+    assert scores[y == 1].mean() > scores[y == 0].mean()
+
+
+@pytest.mark.parametrize("factory", MODELS)
+def test_predict_before_fit_raises(factory):
+    with pytest.raises(MLError):
+        factory().predict(np.zeros((2, 4)))
+
+
+def test_nb_rejects_negative_features():
+    X = np.array([[1.0, -1.0]])
+    with pytest.raises(MLError):
+        MultinomialNaiveBayes().fit(X, np.array([0]))
+
+
+def test_nb_predict_proba_sums_to_one(separable):
+    X, y = separable
+    proba = MultinomialNaiveBayes().fit(X, y).predict_proba(X)
+    assert np.allclose(proba.sum(axis=1), 1.0)
+
+
+def test_nb_alpha_validation():
+    with pytest.raises(MLError):
+        MultinomialNaiveBayes(alpha=0)
+
+
+def test_logistic_dimension_mismatch(separable):
+    X, y = separable
+    model = LogisticRegression().fit(X, y)
+    with pytest.raises(MLError):
+        model.predict(np.zeros((2, 7)))
+
+
+def test_logistic_rejects_non_binary_labels():
+    with pytest.raises(MLError):
+        LogisticRegression().fit(np.zeros((3, 2)), np.array([0, 1, 2]))
+
+
+def test_logistic_length_mismatch():
+    with pytest.raises(MLError):
+        LogisticRegression().fit(np.zeros((3, 2)), np.array([0, 1]))
+
+
+def test_logistic_converges_and_records(separable):
+    X, y = separable
+    model = LogisticRegression(n_iterations=2000, tolerance=1e-9).fit(X, y)
+    assert model.weights_ is not None
+
+
+def test_svm_deterministic_with_seed(separable):
+    X, y = separable
+    a = LinearSVM(seed=3).fit(X, y)
+    b = LinearSVM(seed=3).fit(X, y)
+    assert np.allclose(a.weights_, b.weights_)
+
+
+def test_svm_rejects_bad_params():
+    with pytest.raises(MLError):
+        LinearSVM(l2=0)
+    with pytest.raises(MLError):
+        LinearSVM(n_epochs=0)
+
+
+def test_svm_rejects_non_binary():
+    with pytest.raises(MLError):
+        LinearSVM().fit(np.zeros((2, 2)), np.array([1, 2]))

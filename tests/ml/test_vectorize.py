@@ -1,0 +1,112 @@
+"""Vectorizers: counts, TF-IDF, hashing, scaling."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MLError
+from repro.ml import CountVectorizer, HashingVectorizer, TfidfVectorizer
+from repro.ml.vectorize import ScaledVectorizer, StandardScaler
+from repro.ml.features import StylometricExtractor
+
+DOCS = [
+    "the cat sat on the mat",
+    "the dog sat on the log",
+    "cats and dogs living together",
+]
+
+
+def test_count_vectorizer_counts():
+    vec = CountVectorizer()
+    X = vec.fit_transform(DOCS)
+    assert X.shape == (3, len(vec.vocabulary_))
+    the_col = vec.vocabulary_["the"]
+    assert X[0, the_col] == 2
+
+
+def test_count_vectorizer_unknown_terms_ignored():
+    vec = CountVectorizer().fit(DOCS)
+    X = vec.transform(["completely novel words"])
+    assert X.sum() == 0
+
+
+def test_count_min_df_filters():
+    vec = CountVectorizer(min_df=2).fit(DOCS)
+    assert "cat" not in vec.vocabulary_  # appears in one doc
+    assert "the" in vec.vocabulary_
+
+
+def test_count_max_features_keeps_highest_df():
+    vec = CountVectorizer(max_features=2).fit(DOCS)
+    assert len(vec.vocabulary_) == 2
+    # Every kept term must have document frequency 2 (the maximum here);
+    # df-1 terms like "cat" must be evicted first.
+    assert "cat" not in vec.vocabulary_
+    assert "mat" not in vec.vocabulary_
+
+
+def test_count_unfitted_raises():
+    with pytest.raises(MLError):
+        CountVectorizer().transform(DOCS)
+    with pytest.raises(MLError):
+        CountVectorizer(min_df=0)
+
+
+def test_tfidf_rows_unit_norm():
+    X = TfidfVectorizer().fit_transform(DOCS)
+    norms = np.linalg.norm(X, axis=1)
+    assert np.allclose(norms, 1.0)
+
+
+def test_tfidf_downweights_common_terms():
+    vec = TfidfVectorizer().fit(DOCS)
+    the_idf = vec.idf_[vec.vocabulary_["the"]]
+    cat_idf = vec.idf_[vec.vocabulary_["cat"]]
+    assert cat_idf > the_idf
+
+
+def test_tfidf_unfitted_raises():
+    with pytest.raises(MLError):
+        TfidfVectorizer().transform(DOCS)
+
+
+def test_hashing_vectorizer_stateless_and_stable():
+    vec = HashingVectorizer(n_features=64)
+    X1 = vec.transform(DOCS)
+    X2 = HashingVectorizer(n_features=64).transform(DOCS)
+    assert np.array_equal(X1, X2)
+    assert X1.shape == (3, 64)
+
+
+def test_hashing_vectorizer_normalized():
+    X = HashingVectorizer(n_features=128).transform(DOCS)
+    assert np.allclose(np.linalg.norm(X, axis=1), 1.0)
+
+
+def test_hashing_vectorizer_validates():
+    with pytest.raises(MLError):
+        HashingVectorizer(n_features=1)
+
+
+def test_standard_scaler_zero_mean_unit_std():
+    X = np.array([[1.0, 10.0], [3.0, 30.0], [5.0, 50.0]])
+    scaled = StandardScaler().fit_transform(X)
+    assert np.allclose(scaled.mean(axis=0), 0.0)
+    assert np.allclose(scaled.std(axis=0), 1.0)
+
+
+def test_standard_scaler_constant_column_safe():
+    X = np.array([[1.0, 5.0], [1.0, 7.0]])
+    scaled = StandardScaler().fit_transform(X)
+    assert np.all(np.isfinite(scaled))
+
+
+def test_standard_scaler_unfitted():
+    with pytest.raises(MLError):
+        StandardScaler().transform(np.zeros((1, 2)))
+
+
+def test_scaled_vectorizer_composes():
+    vec = ScaledVectorizer(StylometricExtractor())
+    X = vec.fit_transform(DOCS)
+    assert X.shape[0] == 3
+    assert np.all(np.isfinite(vec.transform(["another text entirely"])))

@@ -1,0 +1,137 @@
+"""Further property-based invariants: contract determinism, shard
+schedules, cascade bookkeeping, validator aggregation."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chain.consensus.sharded import ShardedExecutor
+from repro.chain.contracts import ContractRegistry
+from repro.chain.state import WorldState
+from repro.chain.transaction import Transaction
+from repro.core.crowdsourcing import ValidatorPool, Vote
+from repro.corpus import CorpusGenerator
+from repro.crypto import KeyPair
+from repro.social import CascadeRunner, build_social_world
+from tests.conftest import CounterContract
+
+
+# -- contract determinism ------------------------------------------------------
+
+
+@given(st.integers(min_value=-1000, max_value=1000), st.integers(min_value=0, max_value=50))
+@settings(max_examples=30, deadline=None)
+def test_contract_execution_is_deterministic(amount, preload):
+    """Same state + same invocation => identical rw-sets, twice."""
+    registry = ContractRegistry()
+    registry.install(CounterContract())
+    state = WorldState()
+    if preload:
+        state.apply_write_set({"count": preload})
+    results = [
+        registry.execute(state, "counter", "increment", {"amount": amount},
+                         caller="acct:x", timestamp=1.0, tx_id="t")
+        for _ in range(2)
+    ]
+    assert results[0].success == results[1].success
+    assert results[0].read_set == results[1].read_set
+    assert results[0].write_set == results[1].write_set
+    assert results[0].return_value == results[1].return_value
+    assert results[0].gas_used == results[1].gas_used
+
+
+# -- sharded scheduling ----------------------------------------------------------
+
+
+_rwsets = st.lists(
+    st.tuples(
+        st.sets(st.sampled_from([f"k{i}" for i in range(12)]), max_size=3),  # reads
+        st.sets(st.sampled_from([f"k{i}" for i in range(12)]), min_size=1, max_size=3),  # writes
+    ),
+    min_size=1,
+    max_size=20,
+)
+
+
+def _make_txs(rwsets):
+    txs = []
+    for index, (reads, writes) in enumerate(rwsets):
+        tx = Transaction.create(KeyPair.generate(random.Random(index)), "c", "m", {}, nonce=index)
+        txs.append(tx.with_execution({k: 1 for k in reads}, {k: "v" for k in writes}, (), None, ()))
+    return txs
+
+
+@given(_rwsets, st.integers(min_value=1, max_value=8))
+@settings(max_examples=40, deadline=None)
+def test_shard_schedule_invariants(rwsets, n_shards):
+    txs = _make_txs(rwsets)
+    schedule = ShardedExecutor(n_shards=n_shards).plan_block(txs)
+    # Conservation: every transaction lands exactly once.
+    assert schedule.local_count + schedule.cross_shard_count == len(txs)
+    # Parallel can never beat the physics: makespan bounds.
+    assert 0 < schedule.parallel_makespan <= schedule.sequential_makespan
+    assert schedule.speedup >= 1.0
+    # With one shard the two models coincide.
+    if n_shards == 1:
+        assert schedule.parallel_makespan == schedule.sequential_makespan
+
+
+# -- cascade bookkeeping ------------------------------------------------------------
+
+
+@given(st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=8, deadline=None)
+def test_cascade_root_consistency(seed):
+    graph, agents, corpus = build_social_world(n_agents=120, seed=seed % 1000)
+    article = corpus.insertion_fake(corpus.factual(), "troll", 0.0)
+    hub = max(graph.nodes(), key=lambda n: graph.out_degree(n))
+    result = CascadeRunner(graph, corpus).run([(hub, article)], n_rounds=6)
+    # Every event's derived article must map to its parent's root.
+    for event in result.events:
+        parent_root = result.root_of.get(event.parent_article_id)
+        assert result.root_of[event.article_id] == parent_root
+    # Reach curves never decrease and end at the recorded reach.
+    curve = result.reach_curve(article.article_id)
+    assert curve == sorted(curve)
+    if curve:
+        assert curve[-1] == result.reach(article.article_id)
+
+
+# -- validator aggregation -------------------------------------------------------------
+
+
+@given(
+    st.lists(
+        st.tuples(st.booleans(), st.floats(min_value=0.0, max_value=5.0)),
+        min_size=1, max_size=50,
+    )
+)
+@settings(max_examples=50, deadline=None)
+def test_weighted_share_bounds_and_degeneracy(votes_spec):
+    votes = [
+        Vote(validator_id=f"v{i}", verdict=verdict, weight=weight)
+        for i, (verdict, weight) in enumerate(votes_spec)
+    ]
+    weighted = ValidatorPool.weighted_share(votes)
+    majority = ValidatorPool.majority_share(votes)
+    assert 0.0 <= weighted <= 1.0
+    assert 0.0 <= majority <= 1.0
+    # Uniform weights collapse the two aggregations.
+    uniform = [Vote(v.validator_id, v.verdict, 1.0) for v in votes]
+    assert abs(ValidatorPool.weighted_share(uniform) - ValidatorPool.majority_share(uniform)) < 1e-12
+
+
+# -- corpus <-> ledger measured degrees ----------------------------------------------
+
+
+@given(st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=15, deadline=None)
+def test_derivation_chain_degrees_bounded(seed):
+    gen = CorpusGenerator(seed=seed % 500)
+    article = gen.factual()
+    for _ in range(4):
+        article = gen.malicious_derivation(article, gen.next_author(), 1.0)
+        assert 0.0 <= article.modification_degree <= 1.0
+        assert 0.0 <= article.cumulative_distortion <= 1.0
+        assert article.label_fake

@@ -1,0 +1,193 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.chain.state import WorldState
+from repro.corpus import CorpusGenerator, jaccard, measured_change, shingles
+from repro.corpus.mutations import insert, relay, split
+from repro.corpus.topics import TOPICS
+from repro.crypto import KeyPair, MerkleTree
+from repro.crypto.hashing import sha256_hex
+from repro.ml.metrics import roc_auc
+import numpy as np
+import pytest
+
+# Shared strategies -----------------------------------------------------------
+
+hex_digests = st.integers(min_value=0).map(lambda i: sha256_hex(str(i).encode()))
+texts = st.lists(
+    st.sampled_from("alpha beta gamma delta epsilon zeta eta theta".split()),
+    min_size=1, max_size=40,
+).map(" ".join)
+
+
+# Merkle ---------------------------------------------------------------------
+
+
+@given(st.lists(hex_digests, min_size=1, max_size=64))
+@settings(max_examples=40, deadline=None)
+def test_merkle_every_proof_verifies(leaves):
+    tree = MerkleTree(leaves)
+    for index in range(len(leaves)):
+        assert tree.prove(index).verify(tree.root)
+
+
+@given(st.lists(hex_digests, min_size=2, max_size=32, unique=True), st.data())
+@settings(max_examples=40, deadline=None)
+def test_merkle_root_sensitive_to_any_leaf(leaves, data):
+    index = data.draw(st.integers(min_value=0, max_value=len(leaves) - 1))
+    mutated = list(leaves)
+    mutated[index] = sha256_hex(b"tampered" + str(index).encode())
+    if mutated[index] != leaves[index]:
+        assert MerkleTree(mutated).root != MerkleTree(leaves).root
+
+
+# Ed25519 ---------------------------------------------------------------------
+
+
+@given(st.binary(min_size=0, max_size=64), st.integers(min_value=0, max_value=2**31))
+@settings(max_examples=15, deadline=None)
+def test_sign_verify_roundtrip(message, seed):
+    keypair = KeyPair.generate(random.Random(seed))
+    assert keypair.verify(message, keypair.sign(message))
+
+
+# World-state MVCC --------------------------------------------------------------
+
+
+@given(
+    st.lists(
+        st.dictionaries(
+            st.sampled_from(["a", "b", "c", "d"]),
+            st.one_of(st.none(), st.integers(), st.text(max_size=5)),
+            max_size=4,
+        ),
+        max_size=10,
+    )
+)
+@settings(max_examples=50, deadline=None)
+def test_state_snapshot_freshness_invariant(write_sets):
+    """A snapshot's read set validates iff no later commit touched its keys."""
+    state = WorldState()
+    state.apply_write_set({"a": 0, "b": 0})
+    snap = state.snapshot()
+    snap.get("a")
+    snap.get("b")
+    touched = False
+    for write_set in write_sets:
+        if write_set:
+            state.apply_write_set(write_set)
+            if {"a", "b"} & set(write_set):
+                touched = True
+    assert state.validate_read_set(snap.read_set) == (not touched)
+
+
+@given(st.dictionaries(st.text(min_size=1, max_size=3), st.integers(), max_size=6))
+@settings(max_examples=50, deadline=None)
+def test_state_apply_then_read_roundtrip(write_set):
+    state = WorldState()
+    state.apply_write_set(write_set)
+    for key, value in write_set.items():
+        if value is None:
+            assert key not in state
+        else:
+            assert state.get(key) == value
+
+
+# Corpus mutations ----------------------------------------------------------------
+
+
+@given(st.integers(min_value=0, max_value=10_000), st.integers(min_value=1, max_value=4))
+@settings(max_examples=30, deadline=None)
+def test_relay_fixpoint_and_insert_monotone(seed, n_insertions):
+    rng = random.Random(seed)
+    gen = CorpusGenerator(seed=seed % 100)
+    article = gen.factual()
+    relayed = relay(article, "x", 1.0)
+    assert relayed.text == article.text
+    assert relayed.modification_degree == 0.0
+    mutated = insert(article, "x", 1.0, rng, n_insertions=n_insertions)
+    assert mutated.modification_degree > 0.0
+    assert mutated.cumulative_distortion >= article.cumulative_distortion
+
+
+@given(st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=30, deadline=None)
+def test_split_is_substring_content(seed):
+    rng = random.Random(seed)
+    gen = CorpusGenerator(seed=seed % 100)
+    article = gen.factual()
+    quoted = split(article, "x", 1.0, rng, keep_fraction=0.5)
+    for sentence in quoted.sentences:
+        assert sentence in article.text
+
+
+@given(texts, texts)
+@settings(max_examples=60, deadline=None)
+def test_measured_change_is_metric_like(a, b):
+    assert measured_change([a], a) == 0.0
+    assert 0.0 <= measured_change([a], b) <= 1.0
+    # Symmetry of the underlying multiset Jaccard.
+    assert abs(measured_change([a], b) - measured_change([b], a)) < 1e-12
+
+
+@given(texts, texts)
+@settings(max_examples=60, deadline=None)
+def test_jaccard_bounds_and_identity(a, b):
+    sa, sb = shingles(a), shingles(b)
+    value = jaccard(sa, sb)
+    assert 0.0 <= value <= 1.0
+    assert jaccard(sa, sa) == 1.0
+
+
+# Metrics ---------------------------------------------------------------------------
+
+
+@given(
+    st.lists(st.tuples(st.booleans(), st.floats(min_value=0, max_value=1)),
+             min_size=4, max_size=60).filter(
+        lambda rows: any(label for label, _ in rows) and any(not label for label, _ in rows)
+    )
+)
+@settings(max_examples=60, deadline=None, suppress_health_check=[HealthCheck.filter_too_much])
+def test_auc_complement_symmetry(rows):
+    """AUC(y, s) + AUC(y, -s) == 1 (with midrank tie handling)."""
+    y = np.array([int(label) for label, _ in rows])
+    s = np.array([score for _, score in rows])
+    assert roc_auc(y, s) + roc_auc(y, -s) == 1.0
+
+
+@given(
+    st.lists(
+        # Quantized scores: raw float strategies produce denormals whose
+        # distinctness an affine transform destroys (10 * 1e-157 + 3 == 3.0),
+        # manufacturing ties that are a float artifact, not an AUC bug.
+        st.tuples(st.booleans(), st.integers(min_value=0, max_value=1000).map(lambda v: v / 1000)),
+        min_size=4, max_size=60,
+    ).filter(
+        lambda rows: any(label for label, _ in rows) and any(not label for label, _ in rows)
+    )
+)
+@settings(max_examples=60, deadline=None, suppress_health_check=[HealthCheck.filter_too_much])
+def test_auc_invariant_under_monotone_transform(rows):
+    y = np.array([int(label) for label, _ in rows])
+    s = np.array([score for _, score in rows])
+    assert roc_auc(y, s) == pytest.approx(roc_auc(y, s * 10 + 3))
+
+
+# Corpus generator -------------------------------------------------------------------
+
+
+@given(st.integers(min_value=0, max_value=1_000_000))
+@settings(max_examples=10, deadline=None)
+def test_generator_labels_consistent(seed):
+    corpus = CorpusGenerator(seed=seed).labeled_corpus(n_factual=20, n_fake=20)
+    assert len(corpus.fakes) == 20
+    assert len(corpus.factual) == 20
+    for article in corpus:
+        assert article.topic in {t.name for t in TOPICS}
+        assert 0.0 <= article.modification_degree <= 1.0
+        assert 0.0 <= article.cumulative_distortion <= 1.0

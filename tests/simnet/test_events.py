@@ -1,0 +1,107 @@
+"""Discrete-event simulator semantics."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simnet import Simulator
+
+
+def test_events_fire_in_time_order():
+    sim = Simulator()
+    fired = []
+    sim.schedule(3.0, lambda: fired.append("c"))
+    sim.schedule(1.0, lambda: fired.append("a"))
+    sim.schedule(2.0, lambda: fired.append("b"))
+    sim.run()
+    assert fired == ["a", "b", "c"]
+
+
+def test_equal_times_fire_in_schedule_order():
+    sim = Simulator()
+    fired = []
+    for label in "abcde":
+        sim.schedule(1.0, lambda label=label: fired.append(label))
+    sim.run()
+    assert fired == list("abcde")
+
+
+def test_clock_advances_to_event_time():
+    sim = Simulator()
+    times = []
+    sim.schedule(2.5, lambda: times.append(sim.now))
+    sim.run()
+    assert times == [2.5]
+    assert sim.now == 2.5
+
+
+def test_negative_delay_rejected():
+    with pytest.raises(SimulationError):
+        Simulator().schedule(-0.1, lambda: None)
+
+
+def test_events_scheduled_during_run_execute():
+    sim = Simulator()
+    fired = []
+
+    def first():
+        fired.append("first")
+        sim.schedule(1.0, lambda: fired.append("second"))
+
+    sim.schedule(1.0, first)
+    sim.run()
+    assert fired == ["first", "second"]
+    assert sim.now == 2.0
+
+
+def test_run_until_stops_before_later_events():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, lambda: fired.append("early"))
+    sim.schedule(10.0, lambda: fired.append("late"))
+    sim.run(until=5.0)
+    assert fired == ["early"]
+    assert sim.now == 5.0
+    sim.run()
+    assert fired == ["early", "late"]
+
+
+def test_cancelled_event_skipped():
+    sim = Simulator()
+    fired = []
+    event = sim.schedule(1.0, lambda: fired.append("cancelled"))
+    sim.schedule(2.0, lambda: fired.append("kept"))
+    event.cancel()
+    sim.run()
+    assert fired == ["kept"]
+
+
+def test_max_events_bounds_execution():
+    sim = Simulator()
+
+    def reschedule():
+        sim.schedule(1.0, reschedule)
+
+    sim.schedule(1.0, reschedule)
+    sim.run(max_events=25)
+    assert sim.events_processed == 25
+
+
+def test_schedule_at_absolute_time():
+    sim = Simulator()
+    fired = []
+    sim.schedule(5.0, lambda: sim.schedule_at(7.5, lambda: fired.append(sim.now)))
+    sim.run()
+    assert fired == [7.5]
+
+
+def test_step_returns_false_when_empty():
+    assert Simulator().step() is False
+
+
+def test_pending_counts_live_events():
+    sim = Simulator()
+    event = sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    assert sim.pending == 2
+    event.cancel()
+    assert sim.pending == 1

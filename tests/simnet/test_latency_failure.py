@@ -1,0 +1,92 @@
+"""Latency models and failure scheduling."""
+
+import random
+
+import pytest
+
+from repro.simnet import (
+    FailureSchedule,
+    FixedLatency,
+    GeoLatency,
+    LogNormalLatency,
+    Network,
+    NetworkNode,
+    Simulator,
+)
+
+
+class Sink(NetworkNode):
+    def __init__(self, node_id):
+        super().__init__(node_id)
+        self.received = []
+
+    def on_message(self, message):
+        self.received.append(message)
+
+
+def test_fixed_latency_constant():
+    model = FixedLatency(0.07)
+    rng = random.Random(0)
+    assert all(model.sample("a", "b", rng) == 0.07 for _ in range(5))
+
+
+def test_fixed_latency_rejects_negative():
+    with pytest.raises(ValueError):
+        FixedLatency(-1.0)
+
+
+def test_lognormal_latency_positive_with_expected_median():
+    model = LogNormalLatency(median=0.08, sigma=0.4)
+    rng = random.Random(1)
+    samples = sorted(model.sample("a", "b", rng) for _ in range(2001))
+    assert all(s > 0 for s in samples)
+    median = samples[len(samples) // 2]
+    assert 0.06 < median < 0.10
+
+
+def test_lognormal_rejects_bad_median():
+    with pytest.raises(ValueError):
+        LogNormalLatency(median=0.0)
+
+
+def test_geo_latency_intra_faster_than_inter():
+    regions = {"a": "us", "b": "us", "c": "eu"}
+    model = GeoLatency(regions, intra_base=0.01, inter_base=0.12, jitter_sigma=0.1)
+    rng = random.Random(2)
+    intra = sum(model.sample("a", "b", rng) for _ in range(300)) / 300
+    inter = sum(model.sample("a", "c", rng) for _ in range(300)) / 300
+    assert inter > intra * 5
+
+
+def test_failure_schedule_crash_and_recover():
+    sim = Simulator()
+    net = Network(sim)
+    node = Sink("n0")
+    sender = Sink("n1")
+    net.add_node(node)
+    net.add_node(sender)
+    schedule = FailureSchedule(sim, net)
+    schedule.crash_at(1.0, "n0")
+    schedule.recover_at(3.0, "n0")
+    sim.schedule_at(2.0, lambda: sender.send("n0", "while-down", None))
+    sim.schedule_at(4.0, lambda: sender.send("n0", "after-up", None))
+    sim.run()
+    assert [m.kind for m in node.received] == ["after-up"]
+    assert [e.action for e in schedule.log] == ["crash", "recover"]
+
+
+def test_failure_schedule_partition_and_heal():
+    sim = Simulator()
+    net = Network(sim)
+    a, b = Sink("a"), Sink("b")
+    net.add_node(a)
+    net.add_node(b)
+    schedule = FailureSchedule(sim, net)
+    schedule.partition_at(1.0, {"a"})
+    schedule.heal_at(3.0)
+    sim.schedule_at(2.0, lambda: a.send("b", "split", None))
+    sim.schedule_at(4.0, lambda: a.send("b", "healed", None))
+    sim.run()
+    assert [m.kind for m in b.received] == ["healed"]
+    actions = [e.action for e in schedule.log]
+    assert actions == ["partition", "heal"]

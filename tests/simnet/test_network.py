@@ -1,0 +1,137 @@
+"""Simulated network delivery, partitions, drops, crashes."""
+
+import random
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simnet import FixedLatency, Message, Network, NetworkNode, Simulator, UniformLatency
+
+
+class Recorder(NetworkNode):
+    """Records everything delivered to it."""
+
+    def __init__(self, node_id: str):
+        super().__init__(node_id)
+        self.received: list[Message] = []
+
+    def on_message(self, message: Message) -> None:
+        self.received.append(message)
+
+
+def build(n: int = 3, **kwargs) -> tuple[Simulator, Network, list[Recorder]]:
+    sim = Simulator()
+    net = Network(sim, **kwargs)
+    nodes = [Recorder(f"n{i}") for i in range(n)]
+    for node in nodes:
+        net.add_node(node)
+    return sim, net, nodes
+
+
+def test_message_delivered_with_latency():
+    sim, net, nodes = build(latency=FixedLatency(0.25))
+    nodes[0].send("n1", "ping", {"x": 1})
+    sim.run()
+    assert len(nodes[1].received) == 1
+    message = nodes[1].received[0]
+    assert message.kind == "ping" and message.payload == {"x": 1}
+    assert sim.now == pytest.approx(0.25)
+
+
+def test_broadcast_excludes_self_by_default():
+    sim, net, nodes = build(4)
+    nodes[0].broadcast("hello", None)
+    sim.run()
+    assert len(nodes[0].received) == 0
+    assert all(len(n.received) == 1 for n in nodes[1:])
+
+
+def test_broadcast_include_self():
+    sim, net, nodes = build(2)
+    nodes[0].broadcast("hello", None, include_self=True)
+    sim.run()
+    assert len(nodes[0].received) == 1
+
+
+def test_partition_blocks_cross_group_traffic():
+    sim, net, nodes = build(4)
+    net.partition({"n0", "n1"})
+    nodes[0].send("n1", "in-group", None)
+    nodes[0].send("n2", "cross", None)
+    sim.run()
+    assert len(nodes[1].received) == 1
+    assert len(nodes[2].received) == 0
+    assert net.stats.dropped_partition == 1
+
+
+def test_heal_restores_traffic():
+    sim, net, nodes = build(3)
+    net.partition({"n0"})
+    nodes[0].send("n1", "blocked", None)
+    net.heal()
+    nodes[0].send("n1", "open", None)
+    sim.run()
+    assert [m.kind for m in nodes[1].received] == ["open"]
+
+
+def test_unnamed_nodes_form_implicit_group():
+    sim, net, nodes = build(4)
+    net.partition({"n0", "n1"})
+    nodes[2].send("n3", "rest-group", None)
+    sim.run()
+    assert len(nodes[3].received) == 1
+
+
+def test_crashed_node_drops_messages():
+    sim, net, nodes = build(2)
+    nodes[1].crashed = True
+    nodes[0].send("n1", "lost", None)
+    sim.run()
+    assert nodes[1].received == []
+    assert net.stats.dropped_crashed == 1
+
+
+def test_random_drops_are_seeded():
+    def run(seed):
+        sim, net, nodes = build(2, drop_probability=0.5, seed=seed)
+        for _ in range(100):
+            nodes[0].send("n1", "m", None)
+        sim.run()
+        return len(nodes[1].received)
+
+    assert run(7) == run(7)
+    assert 20 < run(7) < 80  # roughly half survive
+
+
+def test_unknown_destination_raises():
+    sim, net, nodes = build(1)
+    with pytest.raises(SimulationError):
+        nodes[0].send("nope", "m", None)
+
+
+def test_duplicate_node_id_rejected():
+    sim, net, nodes = build(1)
+    with pytest.raises(SimulationError):
+        net.add_node(Recorder("n0"))
+
+
+def test_detached_node_cannot_send():
+    node = Recorder("loner")
+    with pytest.raises(SimulationError):
+        node.send("n0", "m", None)
+
+
+def test_stats_track_latency():
+    sim, net, nodes = build(2, latency=FixedLatency(0.1))
+    for _ in range(10):
+        nodes[0].send("n1", "m", None)
+    sim.run()
+    assert net.stats.delivered == 10
+    assert net.stats.mean_latency == pytest.approx(0.1)
+
+
+def test_uniform_latency_in_bounds():
+    rng = random.Random(0)
+    model = UniformLatency(0.01, 0.05)
+    samples = [model.sample("a", "b", rng) for _ in range(200)]
+    assert all(0.01 <= s <= 0.05 for s in samples)

@@ -1,0 +1,104 @@
+"""Agent populations and follow-graph generators."""
+
+import random
+
+import networkx as nx
+import pytest
+
+from repro.social import (
+    AgentKind,
+    SocialAgent,
+    bind_agents,
+    make_population,
+    polarized_follow_graph,
+    scale_free_follow_graph,
+    small_world_follow_graph,
+)
+
+
+def test_population_kind_fractions():
+    agents = make_population(200, random.Random(0), bot_fraction=0.1,
+                             cyborg_fraction=0.05, journalist_fraction=0.05)
+    kinds = [a.kind for a in agents]
+    assert kinds.count(AgentKind.BOT) == 20
+    assert kinds.count(AgentKind.CYBORG) == 10
+    assert kinds.count(AgentKind.JOURNALIST) == 10
+    assert kinds.count(AgentKind.USER) == 160
+
+
+def test_population_unique_ids():
+    agents = make_population(100, random.Random(1))
+    assert len({a.agent_id for a in agents}) == 100
+
+
+def test_fractions_must_be_sane():
+    with pytest.raises(ValueError):
+        make_population(10, random.Random(0), bot_fraction=0.6, cyborg_fraction=0.5)
+
+
+def test_bots_mostly_malicious_users_mostly_honest():
+    agents = make_population(2000, random.Random(2), bot_fraction=0.2)
+    bots = [a for a in agents if a.kind is AgentKind.BOT]
+    users = [a for a in agents if a.kind is AgentKind.USER]
+    bot_malicious = sum(a.malicious for a in bots) / len(bots)
+    user_malicious = sum(a.malicious for a in users) / len(users)
+    assert bot_malicious > 0.8
+    assert user_malicious < 0.15
+
+
+def test_population_deterministic():
+    a = make_population(50, random.Random(3))
+    b = make_population(50, random.Random(3))
+    assert [(x.agent_id, x.kind, x.malicious) for x in a] == [
+        (x.agent_id, x.kind, x.malicious) for x in b
+    ]
+
+
+def test_scale_free_graph_shape():
+    graph = scale_free_follow_graph(300, seed=0)
+    assert graph.is_directed()
+    assert graph.number_of_nodes() == 300
+    degrees = sorted((d for _, d in graph.out_degree()), reverse=True)
+    # Scale-free: hubs dominate.
+    assert degrees[0] > 5 * (sum(degrees) / len(degrees))
+
+
+def test_small_world_graph_shape():
+    graph = small_world_follow_graph(100, seed=0)
+    assert graph.number_of_nodes() == 100
+    assert graph.number_of_edges() > 0
+
+
+def test_polarized_graph_communities():
+    graph = polarized_follow_graph(200, seed=0)
+    communities = nx.get_node_attributes(graph, "community")
+    assert set(communities.values()) == {0, 1}
+    within = across = 0
+    for u, v in graph.edges():
+        if communities[u] == communities[v]:
+            within += 1
+        else:
+            across += 1
+    assert within > 5 * across  # echo chambers
+
+
+def test_bind_agents_attaches_and_copies_community():
+    graph = polarized_follow_graph(50, seed=1)
+    agents = make_population(50, random.Random(1))
+    mapping = bind_agents(graph, agents)
+    assert len(mapping) == 50
+    for node, agent in mapping.items():
+        assert graph.nodes[node]["agent"] is agent
+        assert agent.community == graph.nodes[node]["community"]
+
+
+def test_bind_agents_length_mismatch():
+    graph = scale_free_follow_graph(10, seed=0)
+    with pytest.raises(ValueError):
+        bind_agents(graph, make_population(9, random.Random(0)))
+
+
+def test_graphs_deterministic():
+    a = scale_free_follow_graph(100, seed=5)
+    b = scale_free_follow_graph(100, seed=5)
+    assert sorted(a.edges()) == sorted(b.edges())

@@ -1,0 +1,64 @@
+"""CLI entry points (repro-news)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_parser_rejects_unknown_scenario():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["demo", "nonexistent"])
+
+
+def test_corpus_command(tmp_path, capsys):
+    out = tmp_path / "c.jsonl"
+    code = main(["corpus", "--out", str(out), "--factual", "20", "--fake", "20", "--seed", "3"])
+    assert code == 0
+    assert out.exists()
+    captured = capsys.readouterr().out
+    assert "wrote 40 articles" in captured
+    from repro.corpus.io import load_corpus
+
+    corpus = load_corpus(out)
+    assert len(corpus.fakes) == 20
+
+
+def test_race_command(capsys):
+    code = main(["race", "--trials", "2", "--agents", "150", "--seed", "9"])
+    assert code == 0
+    captured = capsys.readouterr().out
+    assert "no platform" in captured and "with platform" in captured
+
+
+def test_stats_command(capsys):
+    code = main(["stats"])
+    assert code == 0
+    captured = capsys.readouterr().out
+    assert "topic statistics" in captured
+    assert "platform stats" in captured
+
+
+def test_demo_quickstart(capsys, monkeypatch):
+    import pathlib
+
+    monkeypatch.chdir(pathlib.Path(__file__).resolve().parents[1])
+    code = main(["demo", "quickstart"])
+    assert code == 0
+    captured = capsys.readouterr().out
+    assert "published report-1" in captured
+
+
+def test_demo_missing_examples_dir(tmp_path, monkeypatch, capsys):
+    monkeypatch.chdir(tmp_path)
+    import repro.cli as cli_module
+
+    monkeypatch.setattr(
+        cli_module, "_DEMO_FILES", {"quickstart": "definitely-not-there.py"}
+    )
+    code = main(["demo", "quickstart"])
+    assert code == 1

@@ -1,0 +1,128 @@
+"""Focused coverage for remaining edge behaviours across layers."""
+
+import random
+
+import pytest
+
+from repro.chain import BlockchainNetwork, NetworkedChain
+from repro.chain.consensus.pbft import PBFTEngine
+from repro.chain.contracts import EndorsementPolicy
+from repro.core import Validator, ValidatorPool, Vote
+from repro.corpus import topic_by_name
+from repro.errors import ContractError
+
+
+def test_pbft_quorum_arithmetic():
+    for n, f, quorum in ((4, 1, 3), (7, 2, 5), (10, 3, 7), (13, 4, 9)):
+        engine = PBFTEngine([f"p{i}" for i in range(n)])
+        assert engine.n == n
+        assert engine.f == f
+        assert engine.quorum == quorum
+
+
+def test_pbft_rejects_small_clusters():
+    with pytest.raises(ValueError, match="n >= 4"):
+        PBFTEngine(["a", "b", "c"])
+
+
+def test_pbft_primary_rotation():
+    engine = PBFTEngine([f"p{i}" for i in range(4)])
+    assert [engine.primary_for(v) for v in range(5)] == ["p0", "p1", "p2", "p3", "p0"]
+
+
+def test_topic_by_name_unknown():
+    with pytest.raises(KeyError, match="unknown topic"):
+        topic_by_name("astrology")
+
+
+def test_validator_reputation_capped():
+    pool = ValidatorPool(validators=[Validator("v", accuracy=1.0)])
+    votes = [Vote("v", True, 1.0)]
+    for _ in range(50):
+        pool.settle(votes, outcome_factual=True)
+    assert pool.validators[0].reputation == 5.0  # hard cap
+
+
+def test_validator_weight_zero_when_stake_gone():
+    validator = Validator("v", accuracy=0.5, reputation=2.0, stake=0.0)
+    assert validator.weight == 0.0
+
+
+def test_networked_chain_install_with_policy(counter_contract_cls):
+    network = BlockchainNetwork(n_peers=4, consensus="poa", block_interval=0.2, seed=3)
+    adapter = NetworkedChain(network)
+    adapter.install_contract(counter_contract_cls(), policy=EndorsementPolicy(required=2))
+    account = adapter.new_account()
+    receipt = adapter.invoke(account, "counter", "increment", {"amount": 1})
+    assert receipt.success
+    committed = adapter.ledger.get_transaction(receipt.tx_id)
+    assert len(committed.transaction.endorsements) >= 2
+
+
+def test_networked_chain_query_error_path(counter_contract_cls):
+    network = BlockchainNetwork(n_peers=4, consensus="poa", seed=4)
+    adapter = NetworkedChain(network)
+    adapter.install_contract(counter_contract_cls())
+    with pytest.raises(ContractError, match="no method"):
+        adapter.query("counter", "nope")
+
+
+def test_gas_exhaustion_on_heavy_contract(local_chain, counter_contract_cls):
+    local_chain.install_contract(counter_contract_cls())
+    account = local_chain.new_account()
+    with pytest.raises(ContractError, match="gas"):
+        local_chain.invoke(account, "counter", "burn_gas", {"keys": 200_000})
+    # Nothing committed by the failed call.
+    assert local_chain.ledger.height == 0
+
+
+def test_join_peer_on_empty_chain(counter_contract_cls):
+    network = BlockchainNetwork(n_peers=4, consensus="poa", block_interval=0.2, seed=5)
+    network.install_contract(counter_contract_cls)
+    observer = network.join_peer()
+    assert observer.ledger.height == 0
+    client = network.client()
+    client.invoke("counter", "increment", {"amount": 2})
+    network.run_for(3)
+    assert observer.state.get("count") == 2
+
+
+def test_relay_derivation_determinism():
+    """Same seed -> identical derivation sequence (ids AND content);
+    ids are generator-local counters, so only content varies by seed."""
+    from repro.corpus import CorpusGenerator
+
+    def derive(seed):
+        gen = CorpusGenerator(seed=seed)
+        parent = gen.factual()
+        shares = [gen.relay_derivation(parent, f"a{i}", float(i)) for i in range(5)]
+        return [(s.article_id, s.text) for s in shares]
+
+    assert derive(7) == derive(7)
+    assert [t for _, t in derive(7)] != [t for _, t in derive(8)]
+
+
+def test_ecosystem_zero_checkers_safe():
+    from repro.core import EcosystemSimulator
+
+    simulator = EcosystemSimulator.generate(
+        n_agents=40, seed=9,
+        role_mix={"consumer": 0.6, "creator": 0.3, "checker": 0.0,
+                  "developer": 0.05, "publisher": 0.05},
+    )
+    simulator.run(5)  # must not divide by zero anywhere
+    assert len(simulator.round_log) == 5
+
+
+def test_media_verifier_handles_empty_registration():
+    import numpy as np
+
+    from repro.core import MediaVerifier
+    from repro.ml import capture_signal
+
+    verifier = MediaVerifier()
+    rng = np.random.default_rng(0)
+    assessment = verifier.assess(None, capture_signal(rng), "ghost")
+    assert not assessment.registered
+    assert assessment.tamper_score == 1.0
+    assert not assessment.authentic
