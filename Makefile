@@ -1,0 +1,15 @@
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test chaos bench
+
+# Tier-1: fast default suite (chaos-marked sweeps excluded via addopts).
+test:
+	$(PYTHON) -m pytest -x -q
+
+# Extended seeded chaos/invariant-audit sweeps (slow, opt-in).
+chaos:
+	$(PYTHON) -m pytest -m chaos
+
+bench:
+	$(PYTHON) -m pytest benchmarks -q

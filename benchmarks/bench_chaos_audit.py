@@ -1,0 +1,90 @@
+"""Chaos/invariant-audit sweep: violations found and recovery cost.
+
+Runs the seeded chaos harness (crash windows, partitions, latency
+spikes, rogue vote-flooders) against a 4-validator PBFT network with
+the ``InvariantAuditor`` watching every commit, then reports per seed:
+
+- invariant violations by class (agreement / certificate / durability /
+  convergence) — all must be zero with the membership fix in place,
+- forged votes rejected by the membership check (proof the rogue
+  traffic actually reached the quorum logic and was turned away),
+- recovery latency: time from each injected fault to the next honest
+  commit, i.e. how quickly consensus resumes making progress.
+"""
+
+from __future__ import annotations
+
+import random
+import statistics
+
+from benchmarks.conftest import emit
+from repro.chain import BlockchainNetwork, InvariantAuditor, recovery_latencies
+from repro.simnet import ChaosSchedule, UniformLatency
+
+SEEDS = range(10)
+DURATION = 30.0
+N_TXS = 16
+
+
+def _run(seed: int):
+    from tests.conftest import CounterContract
+
+    rng = random.Random(seed)
+    network = BlockchainNetwork(
+        n_peers=4, consensus="pbft", block_interval=0.5,
+        latency=UniformLatency(0.01, 0.08), seed=seed,
+        view_timeout=4.0,
+    )
+    network.install_contract(CounterContract)
+    auditor = InvariantAuditor(network, strict=False)  # collect, don't raise
+    chaos = ChaosSchedule(network.sim, network.net, seed=seed)
+    chaos.plan(DURATION, validators=[p.node_id for p in network.peers])
+    client = network.client()
+    for _ in range(N_TXS):
+        tx = network.endorse_transaction(client, "counter", "increment", {"amount": 1})
+        network.submit(tx)
+        network.run_for(rng.uniform(0.8, 2.0))
+    network.run_for(max(DURATION + 45.0 - network.sim.now, 1.0))
+    auditor.final_check()
+    network.stop()
+    rejected = sum(
+        getattr(p.engine, "votes_rejected_nonvalidator", 0) for p in network.peers
+    )
+    recoveries = [
+        latency for _, latency in recovery_latencies(network, chaos.log)
+        if latency is not None
+    ]
+    height = max(p.ledger.height for p in network.peers)
+    return seed, len(auditor.violations), rejected, len(chaos.log), height, recoveries
+
+
+def _sweep():
+    return [_run(seed) for seed in SEEDS]
+
+
+def test_chaos_audit(benchmark):
+    results = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    rows = [f"{'seed':>4} {'violations':>10} {'votes-rejected':>14} "
+            f"{'faults':>6} {'height':>6} {'recovery p50(s)':>15}"]
+    all_recoveries: list[float] = []
+    total_violations = 0
+    for seed, violations, rejected, faults, height, recoveries in results:
+        all_recoveries.extend(recoveries)
+        total_violations += violations
+        p50 = f"{statistics.median(recoveries):.2f}" if recoveries else "-"
+        rows.append(f"{seed:>4} {violations:>10} {rejected:>14} "
+                    f"{faults:>6} {height:>6} {p50:>15}")
+    if all_recoveries:
+        rows.append(
+            f"recovery latency over {len(all_recoveries)} faults: "
+            f"p50={statistics.median(all_recoveries):.2f}s "
+            f"max={max(all_recoveries):.2f}s"
+        )
+    rows.append("shape: zero invariant violations on every seed; rejected vote "
+                "counts show the rogue traffic was real; recovery stays bounded")
+    emit(benchmark, "Chaos audit — invariants under seeded fault storms", rows)
+    assert total_violations == 0
+    # The rogue scenario fired somewhere in the sweep and was rebuffed.
+    assert any(rejected > 0 for _, _, rejected, _, _, _ in results)
+    # Every run made progress despite the fault storm.
+    assert all(height > 0 for _, _, _, _, height, _ in results)

@@ -19,6 +19,7 @@ from repro.chain.contracts import (
     contract_method,
 )
 from repro.chain.adapter import NetworkedChain
+from repro.chain.audit import AuditViolation, InvariantAuditor, recovery_latencies
 from repro.chain.explorer import (
     chain_summary,
     describe_block,
@@ -34,6 +35,9 @@ from repro.chain.state import StateSnapshot, WorldState
 from repro.chain.transaction import Endorsement, Transaction, TxReceipt
 
 __all__ = [
+    "AuditViolation",
+    "InvariantAuditor",
+    "recovery_latencies",
     "Block",
     "make_genesis_block",
     "PBFTEngine",

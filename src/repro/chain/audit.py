@@ -1,0 +1,386 @@
+"""Always-on consensus invariant auditing.
+
+:class:`InvariantAuditor` hooks a :class:`~repro.chain.network.
+BlockchainNetwork` and re-verifies the safety properties the platform's
+trust argument rests on — after every committed block (incremental
+checks, cheap) and again at end-of-run (full-ledger forensics):
+
+- **agreement** — no two honest peers ever commit different blocks at
+  the same height, crashed peers included (a commit is permanent, so a
+  peer that forked before crashing still violated safety);
+- **certificate validity** — every PBFT commit certificate names at
+  least 2f+1 *distinct validators*, no non-validator signers, and the
+  certified digest matches the block that actually committed (this is
+  the invariant the validator-membership rule in
+  :mod:`repro.chain.consensus.pbft` exists to protect);
+- **tx durability** — every admitted transaction is eventually committed
+  or still pending in some honest mempool (catches the silent tx-drop
+  where a deposed primary's in-flight round was discarded on view
+  change);
+- **state convergence** — the existing
+  :meth:`~repro.chain.network.BlockchainNetwork.assert_convergence`
+  prefix/app-hash check, surfaced as a structured violation.
+
+Violations raise (or, with ``strict=False``, collect) structured
+:class:`AuditViolation` errors carrying full round forensics.  The
+chaos harness in :mod:`repro.simnet.chaos` generates the fault schedules
+these invariants are audited under; ``benchmarks/bench_chaos_audit.py``
+reports violation counts and recovery latency across seeds.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from repro.chain.block import Block
+from repro.errors import ChainError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.chain.network import BlockchainNetwork
+    from repro.chain.peer import Peer
+    from repro.chain.transaction import Transaction
+    from repro.simnet.failure import FailureEvent
+
+__all__ = ["AuditViolation", "InvariantAuditor", "recovery_latencies"]
+
+
+class AuditViolation(ChainError):
+    """A consensus invariant failed, with forensics attached.
+
+    Attributes:
+        invariant: which check failed (``"agreement"``,
+            ``"certificate"``, ``"durability"``, ``"convergence"``).
+        height: block height the violation anchors to, if any.
+        peers: node ids implicated.
+        forensics: free-form structured context (digests, certificates,
+            views, timestamps) for the failing round.
+    """
+
+    def __init__(
+        self,
+        invariant: str,
+        detail: str,
+        *,
+        height: int | None = None,
+        peers: tuple[str, ...] = (),
+        forensics: dict[str, Any] | None = None,
+    ):
+        self.invariant = invariant
+        self.detail = detail
+        self.height = height
+        self.peers = tuple(peers)
+        self.forensics = dict(forensics or {})
+        location = f" at height {height}" if height is not None else ""
+        involved = f" [{', '.join(self.peers)}]" if self.peers else ""
+        super().__init__(f"invariant '{invariant}' violated{location}{involved}: {detail}")
+
+
+class InvariantAuditor:
+    """Continuously audits a :class:`BlockchainNetwork`'s safety invariants.
+
+    Attach with ``auditor = InvariantAuditor(network)`` *before* driving
+    traffic; the auditor registers itself on every peer's commit path and
+    on the network's admission path.  ``strict=True`` (default) raises on
+    the first violation; ``strict=False`` collects into ``violations``
+    so chaos benchmarks can count rather than abort.
+    """
+
+    def __init__(self, network: "BlockchainNetwork", strict: bool = True):
+        self.network = network
+        self.strict = strict
+        self.violations: list[AuditViolation] = []
+        self.blocks_audited = 0
+        self.checks_run = 0
+        #: tx_id -> simulated admission time, for the durability check.
+        self.tracked_txs: dict[str, float] = {}
+        #: height -> {digest: first honest peer that committed it}.
+        self._height_digests: dict[int, dict[str, str]] = {}
+        self._watched: set[str] = set()
+        network.auditors.append(self)
+        for peer in network.peers:
+            self.watch_peer(peer)
+
+    # -- hook registration -------------------------------------------------
+
+    def watch_peer(self, peer: "Peer") -> None:
+        """Subscribe to *peer*'s commits (idempotent; used by join_peer)."""
+        if peer.node_id in self._watched:
+            return
+        self._watched.add(peer.node_id)
+        peer.commit_listeners.append(self._on_block_committed)
+
+    def on_tx_admitted(self, tx: "Transaction") -> None:
+        """Record an admitted transaction for the durability invariant."""
+        self.tracked_txs.setdefault(tx.tx_id, self.network.sim.now)
+
+    def track_tx(self, tx_id: str) -> None:
+        """Manually track a tx submitted directly to a peer (bypassing
+        ``BlockchainNetwork.submit``), as chaos tests do."""
+        self.tracked_txs.setdefault(tx_id, self.network.sim.now)
+
+    # -- incremental checks (after every committed block) ------------------
+
+    def _on_block_committed(self, peer: "Peer", block: Block) -> None:
+        self.blocks_audited += 1
+        if peer.byzantine:
+            return  # a byzantine ledger carries no guarantees to audit
+        self._check_agreement_incremental(peer, block)
+        self._check_certificate(peer, block)
+
+    def _check_agreement_incremental(self, peer: "Peer", block: Block) -> None:
+        self.checks_run += 1
+        digests = self._height_digests.setdefault(block.height, {})
+        digests.setdefault(block.block_hash, peer.node_id)
+        if len(digests) > 1:
+            self._violate(
+                "agreement",
+                f"honest peers committed {len(digests)} distinct blocks",
+                height=block.height,
+                peers=tuple(sorted(digests.values())) + (peer.node_id,),
+                forensics={
+                    "digests": dict(digests),
+                    "latest_peer": peer.node_id,
+                    "latest_digest": block.block_hash,
+                    "time": self.network.sim.now,
+                },
+            )
+
+    def _check_certificate(self, peer: "Peer", block: Block) -> None:
+        engine = peer.engine
+        certificates = getattr(engine, "commit_certificates", None)
+        if certificates is None:
+            return  # engine issues no certificates (e.g. PoA ordering)
+        entry = certificates.get(block.height)
+        if entry is None:
+            # Synchronous state-transfer replay (join_peer bootstrap)
+            # commits without a certificate; the source peer's was audited.
+            return
+        self.checks_run += 1
+        digest, certificate = entry
+        validators = set(engine.validators)
+        quorum = engine.quorum
+        distinct = set(certificate)
+        forensics = {
+            "certificate": sorted(certificate),
+            "validators": sorted(validators),
+            "quorum": quorum,
+            "view": getattr(engine, "view", None),
+            "digest": digest,
+            "block_digest": block.block_hash,
+            "time": self.network.sim.now,
+        }
+        outsiders = distinct - validators
+        if outsiders:
+            self._violate(
+                "certificate",
+                f"certificate contains non-validator signer(s) {sorted(outsiders)}",
+                height=block.height, peers=(peer.node_id,), forensics=forensics,
+            )
+        if len(distinct & validators) < quorum:
+            self._violate(
+                "certificate",
+                f"only {len(distinct & validators)} distinct validator signers, "
+                f"quorum is {quorum}",
+                height=block.height, peers=(peer.node_id,), forensics=forensics,
+            )
+        if digest != block.block_hash:
+            self._violate(
+                "certificate",
+                "certified digest does not match the committed block",
+                height=block.height, peers=(peer.node_id,), forensics=forensics,
+            )
+
+    # -- end-of-run checks -------------------------------------------------
+
+    def final_check(self) -> list[AuditViolation]:
+        """Run the full audit; returns (and with ``strict`` raises) violations."""
+        self.check_agreement()
+        self.check_certificates()
+        self.check_durability()
+        self.check_convergence()
+        return list(self.violations)
+
+    def check_agreement(self) -> None:
+        """Full-ledger prefix agreement across honest peers, crashed included.
+
+        Every honest chain must be a prefix of the longest honest chain
+        (prefix-of-reference implies pairwise agreement on common
+        prefixes, so one reference suffices).
+        """
+        self.checks_run += 1
+        honest = [p for p in self.network.peers if not p.byzantine]
+        if not honest:
+            return
+        reference = max(honest, key=lambda p: p.ledger.height)
+        for peer in honest:
+            if peer is reference:
+                continue
+            for height in range(1, peer.ledger.height + 1):
+                a = reference.ledger.block(height).block_hash
+                b = peer.ledger.block(height).block_hash
+                if a != b:
+                    self._violate(
+                        "agreement",
+                        f"{peer.node_id} diverges from {reference.node_id}",
+                        height=height,
+                        peers=(reference.node_id, peer.node_id),
+                        forensics={
+                            "reference_digest": a,
+                            "peer_digest": b,
+                            "crashed": peer.crashed,
+                        },
+                    )
+                    break  # deeper heights on this fork add no information
+
+    def check_certificates(self) -> None:
+        """Re-validate every recorded commit certificate on honest peers."""
+        for peer in self.network.peers:
+            if peer.byzantine:
+                continue
+            certificates = getattr(peer.engine, "commit_certificates", None)
+            if not certificates:
+                continue
+            for height, (digest, certificate) in sorted(certificates.items()):
+                if height > peer.ledger.height:
+                    continue
+                block = peer.ledger.block(height)
+                self._check_certificate_entry(peer, height, digest, certificate, block)
+
+    def _check_certificate_entry(
+        self, peer: "Peer", height: int, digest: str,
+        certificate: tuple[str, ...], block: Block,
+    ) -> None:
+        self.checks_run += 1
+        engine = peer.engine
+        validators = set(engine.validators)
+        distinct = set(certificate)
+        problems = []
+        if distinct - validators:
+            problems.append(f"non-validator signers {sorted(distinct - validators)}")
+        if len(distinct & validators) < engine.quorum:
+            problems.append(
+                f"{len(distinct & validators)} validator signers < quorum {engine.quorum}"
+            )
+        if digest != block.block_hash:
+            problems.append("certified digest mismatches committed block")
+        if problems:
+            self._violate(
+                "certificate",
+                "; ".join(problems),
+                height=height,
+                peers=(peer.node_id,),
+                forensics={
+                    "certificate": sorted(certificate),
+                    "validators": sorted(validators),
+                    "digest": digest,
+                    "block_digest": block.block_hash,
+                },
+            )
+
+    def check_durability(self) -> None:
+        """Every admitted tx is committed or still pending somewhere honest.
+
+        "Pending" covers a peer's mempool *and* its engine's open
+        consensus rounds (``pending_txs``): a transaction taken into an
+        in-flight proposal is retained state, not a drop.  A tx that
+        appears in none of receipts / mempools / open rounds has been
+        silently lost — exactly what the seed engine did when a view
+        change discarded a deposed primary's round.
+        """
+        self.checks_run += 1
+        honest = [p for p in self.network.peers if not p.byzantine]
+        in_flight: set[str] = set()
+        for peer in honest:
+            pending = getattr(peer.engine, "pending_txs", None)
+            if pending is not None:
+                in_flight |= pending()
+        lost = [
+            (tx_id, admitted_at)
+            for tx_id, admitted_at in self.tracked_txs.items()
+            if tx_id not in in_flight
+            and not any(tx_id in p.receipts for p in honest)
+            and not any(tx_id in p.mempool for p in honest)
+        ]
+        if lost:
+            self._violate(
+                "durability",
+                f"{len(lost)} admitted transaction(s) vanished "
+                "(neither committed nor pending in any honest mempool)",
+                forensics={
+                    "lost": [
+                        {"tx_id": tx_id, "admitted_at": admitted_at}
+                        for tx_id, admitted_at in lost[:20]
+                    ],
+                    "lost_total": len(lost),
+                    "tracked_total": len(self.tracked_txs),
+                },
+            )
+
+    def check_convergence(self) -> None:
+        """State convergence (prefix + app-hash), as a structured violation."""
+        self.checks_run += 1
+        try:
+            self.network.assert_convergence()
+        except AuditViolation:
+            raise
+        except ChainError as exc:
+            self._violate(
+                "convergence",
+                str(exc),
+                forensics={"heights": self.network.committed_heights()},
+            )
+
+    # -- reporting ---------------------------------------------------------
+
+    def summary(self) -> dict[str, Any]:
+        """Counters for benchmark tables."""
+        by_invariant: dict[str, int] = {}
+        for violation in self.violations:
+            by_invariant[violation.invariant] = by_invariant.get(violation.invariant, 0) + 1
+        return {
+            "blocks_audited": self.blocks_audited,
+            "checks_run": self.checks_run,
+            "txs_tracked": len(self.tracked_txs),
+            "violations": len(self.violations),
+            "violations_by_invariant": by_invariant,
+        }
+
+    def _violate(
+        self,
+        invariant: str,
+        detail: str,
+        *,
+        height: int | None = None,
+        peers: tuple[str, ...] = (),
+        forensics: dict[str, Any] | None = None,
+    ) -> None:
+        violation = AuditViolation(
+            invariant, detail, height=height, peers=peers, forensics=forensics
+        )
+        self.violations.append(violation)
+        if self.strict:
+            raise violation
+
+
+def recovery_latencies(
+    network: "BlockchainNetwork", failures: list["FailureEvent"]
+) -> list[tuple["FailureEvent", float | None]]:
+    """For each injected fault, time until the next honest commit.
+
+    Measures how quickly consensus regains liveness after each
+    crash/partition/chaos event: the gap between the fault firing and the
+    first block committed by any honest peer afterwards (``None`` if the
+    run ended first).  Heal/recover events are included — their latency
+    shows the cost of catching up.
+    """
+    commit_times = sorted(
+        t
+        for peer in network.peers
+        if not peer.byzantine
+        for t in peer.metrics.commit_times
+    )
+    out: list[tuple[FailureEvent, float | None]] = []
+    for event in failures:
+        after = next((t for t in commit_times if t > event.time), None)
+        out.append((event, after - event.time if after is not None else None))
+    return out

@@ -10,11 +10,32 @@ they matter when reading experiment results:
 
 - Channels are authenticated by the simulator (a message's ``src`` is
   trusted), so per-message signatures and the new-view proof are elided;
-  commit certificates carry sender sets instead.
+  commit certificates carry sender sets instead.  Certificate *contents*
+  are therefore trusted the same way ``src`` is: a node that fabricates
+  validator names inside a ``pbft-committed`` payload is spoofing
+  identities, which is outside the threat model.
+- **Validator membership is enforced on every vote**: prepares, commits,
+  and view-change votes are dropped unless ``src`` is in the engine's
+  validator set, and a replica that is not itself a validator (a late
+  "observer" joined via ``BlockchainNetwork.join_peer``) never votes —
+  it follows the chain through commit certificates only.  Quorums are
+  2f+1 *distinct validators*, never merely 2f+1 distinct senders.
+- Round state is bounded: messages are rejected outside a small view
+  window (``[view, view + VIEW_WINDOW]``) and height window
+  (``(committed, committed + HEIGHT_WINDOW]``), and rounds for deposed
+  views are garbage-collected on view change — a deposed primary's
+  taken-but-uncommitted transactions are re-queued into its mempool so
+  they are not silently dropped.
 - Checkpointing/garbage collection is replaced by pruning round state
   once a height commits (the simulator's ledger is the checkpoint).
 - One block (= one PBFT sequence number) is in flight at a time per
   view, which matches how Fabric-style ordering batches anyway.
+
+The membership rule, the bounded-window rule, and the re-queue rule are
+continuously re-verified under fault injection by
+:class:`repro.chain.audit.InvariantAuditor` +
+:class:`repro.simnet.chaos.ChaosSchedule` (see
+``tests/chain/test_chaos_audit.py``).
 """
 
 from __future__ import annotations
@@ -49,6 +70,17 @@ class _Round:
 class PBFTEngine(ConsensusEngine):
     """PBFT replica logic for one peer."""
 
+    #: Accept votes only for views in ``[view, view + VIEW_WINDOW]`` and
+    #: heights in ``(committed, committed + HEIGHT_WINDOW]`` — anything
+    #: beyond is either hopelessly stale or unverifiable garbage, and
+    #: accepting it lets a flooder grow ``_rounds`` without bound.
+    VIEW_WINDOW = 8
+    HEIGHT_WINDOW = 8
+    #: Commit certificates older than this many heights below the chain
+    #: head are pruned (they exist for the invariant auditor's forensics,
+    #: not for the protocol itself).
+    CERTIFICATE_HISTORY = 10_000
+
     def __init__(
         self,
         validators: list[str],
@@ -60,6 +92,7 @@ class PBFTEngine(ConsensusEngine):
         if len(validators) < 4:
             raise ValueError("PBFT needs n >= 4 validators (n = 3f + 1, f >= 1)")
         self.validators = list(validators)
+        self._validator_set = frozenset(validators)
         self.block_interval = block_interval
         self.view_timeout = view_timeout
         self.max_block_txs = max_block_txs
@@ -71,6 +104,10 @@ class PBFTEngine(ConsensusEngine):
         self._timer_scheduled = False
         self._timer_height = -1
         self.view_changes_completed = 0
+        self.votes_rejected_nonvalidator = 0
+        #: height -> (digest, sorted certificate) for every block this
+        #: replica committed, read by the invariant auditor.
+        self.commit_certificates: dict[int, tuple[str, tuple[str, ...]]] = {}
 
     # -- helpers -----------------------------------------------------------
 
@@ -96,6 +133,24 @@ class PBFTEngine(ConsensusEngine):
 
     def _round(self, view: int, height: int) -> _Round:
         return self._rounds.setdefault((view, height), _Round())
+
+    def _member(self, src: str) -> bool:
+        """Is *src* allowed to vote?  Quorums count validators only."""
+        return src in self._validator_set
+
+    def _is_validator(self) -> bool:
+        """Does *this* replica vote?  Observer peers follow, silently."""
+        assert self.peer is not None
+        return self.peer.node_id in self._validator_set
+
+    def _in_window(self, view: int, height: int) -> bool:
+        """Bound round bookkeeping: stale or far-future (view, height)
+        keys must not allocate ``_Round`` state (memory-leak guard)."""
+        assert self.peer is not None
+        if not self.view <= view <= self.view + self.VIEW_WINDOW:
+            return False
+        committed = self.peer.ledger.height
+        return committed < height <= committed + self.HEIGHT_WINDOW
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -172,7 +227,7 @@ class PBFTEngine(ConsensusEngine):
             return  # primary equivocated to us; keep the first
         state.digest = block.block_hash
         state.block = block
-        if not state.sent_prepare:
+        if not state.sent_prepare and self._is_validator():
             state.sent_prepare = True
             state.prepares.add(peer.node_id)
             peer.broadcast(
@@ -182,8 +237,11 @@ class PBFTEngine(ConsensusEngine):
 
     def _on_prepare(self, view: int, height: int, digest: str, src: str) -> None:
         assert self.peer is not None
-        if height <= self.peer.ledger.height:
-            return  # straggler for a committed height; don't resurrect state
+        if not self._member(src):
+            self.votes_rejected_nonvalidator += 1
+            return  # only validators vote toward quorums
+        if not self._in_window(view, height):
+            return  # stale or far-future; don't allocate round state
         state = self._round(view, height)
         if state.digest is not None and digest != state.digest:
             return
@@ -192,8 +250,11 @@ class PBFTEngine(ConsensusEngine):
 
     def _on_commit(self, view: int, height: int, digest: str, src: str) -> None:
         assert self.peer is not None
-        if height <= self.peer.ledger.height:
-            return  # straggler for a committed height; don't resurrect state
+        if not self._member(src):
+            self.votes_rejected_nonvalidator += 1
+            return  # only validators vote toward quorums
+        if not self._in_window(view, height):
+            return  # stale or far-future; don't allocate round state
         state = self._round(view, height)
         if state.digest is not None and digest != state.digest:
             return
@@ -206,7 +267,11 @@ class PBFTEngine(ConsensusEngine):
         state = self._round(view, height)
         if state.digest is None:
             return
-        if not state.sent_commit and len(state.prepares) >= self.quorum:
+        if (
+            not state.sent_commit
+            and len(state.prepares) >= self.quorum
+            and self._is_validator()
+        ):
             state.sent_commit = True
             state.commits.add(peer.node_id)
             peer.broadcast(_COMMIT, {"view": view, "height": height, "digest": state.digest})
@@ -218,15 +283,41 @@ class PBFTEngine(ConsensusEngine):
         ):
             block = state.block
             certificate = sorted(state.commits)
+            self._record_certificate(height, state.digest, certificate)
             self._cleanup_height(height)
             peer.commit_block(block)
             peer.broadcast(_COMMITTED, {"block": block, "certificate": certificate})
             self._timer_height = peer.ledger.height
             self._arm_view_timer()
 
+    def _record_certificate(self, height: int, digest: str, certificate: list[str]) -> None:
+        self.commit_certificates[height] = (digest, tuple(certificate))
+        floor = height - self.CERTIFICATE_HISTORY
+        if floor > 0 and (height % 1000) == 0:
+            for old in [h for h in self.commit_certificates if h < floor]:
+                del self.commit_certificates[old]
+
     def _cleanup_height(self, height: int) -> None:
         for key in [k for k in self._rounds if k[1] <= height]:
-            del self._rounds[key]
+            self._requeue_stale_round(self._rounds.pop(key))
+
+    def _requeue_stale_round(self, state: _Round) -> None:
+        """Return a discarded round's taken transactions to the mempool.
+
+        A primary moves transactions from its mempool into the proposed
+        block; if that round dies (view change deposed it, or another
+        block won the height) those transactions would otherwise vanish
+        silently.  Transactions that did commit are filtered out here by
+        receipt, and any re-queued copy of the *winning* block's own txs
+        is removed again by ``commit_block``'s ``mempool.remove``.
+        """
+        peer = self.peer
+        assert peer is not None
+        if state.block is None or state.block.proposer != peer.node_id:
+            return
+        for tx in state.block.transactions:
+            if tx.tx_id not in peer.receipts:
+                peer.mempool.add(tx)
 
     # -- view change ----------------------------------------------------------
 
@@ -255,32 +346,52 @@ class PBFTEngine(ConsensusEngine):
         stalled = peer.ledger.height == expected_height and (
             len(peer.mempool) > 0 or any(True for _ in self._rounds)
         )
-        if stalled and not peer.crashed:
+        if stalled and not peer.crashed and self._is_validator():
             proposal = self.view + 1
             self._vote_view_change(proposal, peer.node_id)
             peer.broadcast(_VIEW_CHANGE, {"new_view": proposal})
         self._arm_view_timer()
 
     def _vote_view_change(self, new_view: int, src: str) -> None:
-        if new_view <= self.view:
-            return
+        if not self._member(src):
+            self.votes_rejected_nonvalidator += 1
+            return  # only validators can depose a primary
+        if not self.view < new_view <= self.view + self.VIEW_WINDOW:
+            return  # stale, or unreachably far ahead (bounds _view_votes)
         votes = self._view_votes.setdefault(new_view, set())
         votes.add(src)
         if len(votes) >= self.quorum:
             self.view = new_view
             self.view_changes_completed += 1
-            self._rounds = {k: v for k, v in self._rounds.items() if k[0] >= new_view}
+            for key in [k for k in self._rounds if k[0] < new_view]:
+                self._requeue_stale_round(self._rounds.pop(key))
             self._view_votes = {v: s for v, s in self._view_votes.items() if v > new_view}
+
+    def pending_txs(self) -> set[str]:
+        """Tx ids held in open (uncommitted) rounds.
+
+        The durability auditor counts these as pending: a replica cut
+        off from a view change it never saw keeps its in-flight round
+        alive, and the transactions in it are retained, not dropped —
+        they re-enter the mempool the moment the round is superseded
+        (see ``_requeue_stale_round``).
+        """
+        held: set[str] = set()
+        for state in self._rounds.values():
+            if state.block is not None:
+                held.update(tx.tx_id for tx in state.block.transactions)
+        return held
 
     # -- sync -------------------------------------------------------------------
 
     def _on_committed(self, block: Block, certificate: list[str]) -> None:
         peer = self.peer
         assert peer is not None
-        valid_signers = sum(1 for signer in certificate if signer in self.validators)
-        if valid_signers < self.quorum:
+        valid_signers = {signer for signer in certificate if signer in self._validator_set}
+        if len(valid_signers) < self.quorum:
             return
         if block.height == peer.ledger.height + 1:
+            self._record_certificate(block.height, block.block_hash, sorted(certificate))
             self._cleanup_height(block.height)
             peer.commit_block(block)
 

@@ -91,6 +91,9 @@ class BlockchainNetwork:
         self.rng = random.Random(seed + 1)
         self.consensus = consensus
         self.peers: list[Peer] = []
+        #: Attached :class:`repro.chain.audit.InvariantAuditor` instances;
+        #: notified of admitted transactions and late-joined peers.
+        self.auditors: list[Any] = []
         self._contract_factories: list[tuple[Callable[[], Contract], EndorsementPolicy | None]] = []
         self._policies: dict[str, EndorsementPolicy] = {}
         self.block_interval = block_interval
@@ -188,6 +191,8 @@ class BlockchainNetwork:
             for height in range(1, source.ledger.height + 1):
                 peer.commit_block(source.ledger.block(height))
         peer.engine.start()
+        for auditor in self.auditors:
+            auditor.watch_peer(peer)
         return peer
 
     def client(self, keypair: KeyPair | None = None) -> ChainClient:
@@ -248,8 +253,14 @@ class BlockchainNetwork:
             # Entry peer may be crashed/full; try the others once.
             for peer in self.peers:
                 if peer is not entry and peer.submit(tx):
+                    self._notify_admitted(tx)
                     return
             raise ChainError(f"no peer admitted tx {tx.tx_id[:12]}")
+        self._notify_admitted(tx)
+
+    def _notify_admitted(self, tx: Transaction) -> None:
+        for auditor in self.auditors:
+            auditor.on_tx_admitted(tx)
 
     def query(self, client: ChainClient, contract: str, method: str, args: dict[str, Any]) -> Any:
         """Execute read-only against the freshest live peer, discard writes."""

@@ -11,6 +11,7 @@ same block sequence, so their world states stay identical — asserted by
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable
 
 
 from repro.chain.consensus.base import ConsensusEngine
@@ -78,6 +79,9 @@ class Peer(NetworkNode):
         self.sharded_executor = sharded_executor
         self.byzantine = byzantine
         self.metrics = PeerMetrics()
+        #: Called as ``listener(peer, block)`` after every committed
+        #: block — the invariant auditor's hook point.
+        self.commit_listeners: list[Callable[["Peer", Block], None]] = []
         engine.attach(self)
 
     # -- configuration --------------------------------------------------------
@@ -161,6 +165,8 @@ class Peer(NetworkNode):
         self.metrics.commit_times.append(self.sim.now)
         if self.sharded_executor is not None and valid_txs:
             self.sharded_executor.plan_block(valid_txs)
+        for listener in self.commit_listeners:
+            listener(self, block)
 
     def _validate_transaction(self, tx: Transaction) -> tuple[bool, str | None]:
         try:

@@ -5,6 +5,7 @@ consensus layer and the social-media cascade layer; :class:`Network`
 provides latency, partitions, drops, and crash faults.
 """
 
+from repro.simnet.chaos import ChaosSchedule, VoteFlooder
 from repro.simnet.events import Event, Simulator
 from repro.simnet.failure import FailureEvent, FailureSchedule
 from repro.simnet.latency import (
@@ -12,11 +13,14 @@ from repro.simnet.latency import (
     GeoLatency,
     LatencyModel,
     LogNormalLatency,
+    ScaledLatency,
     UniformLatency,
 )
-from repro.simnet.network import Message, Network, NetworkNode
+from repro.simnet.network import Message, Network, NetworkNode, estimate_payload_size
 
 __all__ = [
+    "ChaosSchedule",
+    "VoteFlooder",
     "Event",
     "Simulator",
     "FailureEvent",
@@ -25,8 +29,10 @@ __all__ = [
     "GeoLatency",
     "LatencyModel",
     "LogNormalLatency",
+    "ScaledLatency",
     "UniformLatency",
     "Message",
     "Network",
     "NetworkNode",
+    "estimate_payload_size",
 ]

@@ -1,0 +1,249 @@
+"""Seeded chaos-engineering schedules for the simulated network.
+
+:class:`ChaosSchedule` extends :class:`~repro.simnet.failure.
+FailureSchedule` with *generated* fault plans: randomized crash/recover
+windows, partition/heal windows, latency spikes, and rogue vote-flooder
+nodes, all drawn from one ``random.Random(seed)`` so every run is fully
+deterministic and any violation found by the invariant auditor
+(:mod:`repro.chain.audit`) can be replayed from its seed alone.
+
+:class:`VoteFlooder` is a network node that is **not** in any validator
+set and attacks a PBFT deployment three ways:
+
+- ``forge``  — broadcasts prepares/commits for a fabricated digest at
+  plausible and garbage (view, height) coordinates (exercises both the
+  membership rule and the round-window memory bound);
+- ``echo``   — re-broadcasts every prepare/commit it observes under its
+  own identity (pre-fix, this let 1 honest vote + flooder echoes reach
+  "quorum");
+- ``view-change`` — votes for view changes it has no standing to vote
+  for (pre-fix, flooders could depose a healthy primary).
+
+A correct PBFT implementation ignores all of it; the regression tests in
+``tests/chain/test_pbft_membership.py`` show the seed engine did not.
+
+This module deliberately does not import :mod:`repro.chain` (the simnet
+layer sits below the chain layer); the PBFT message kinds are mirrored
+as literals and pinned by test assertions.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, Sequence
+
+from repro.simnet.failure import FailureEvent, FailureSchedule
+from repro.simnet.latency import ScaledLatency
+from repro.simnet.network import Message, NetworkNode
+
+__all__ = ["ChaosSchedule", "VoteFlooder"]
+
+# Mirrors of the PBFT wire kinds (see repro/chain/consensus/pbft.py);
+# tests/chain/test_pbft_membership.py pins these against the engine.
+_PBFT_PREPARE = "pbft-prepare"
+_PBFT_COMMIT = "pbft-commit"
+_PBFT_VIEW_CHANGE = "pbft-view-change"
+
+_FORGED_DIGEST = "f" * 64
+
+
+class VoteFlooder(NetworkNode):
+    """A non-validator that floods forged PBFT votes.
+
+    The flooder passively tracks the highest (view, height) it observes
+    on the wire so its forged votes land inside the engines' acceptance
+    windows — the strongest position an outsider can attack from without
+    spoofing ``src`` (which the simulator treats as authenticated).
+    """
+
+    def __init__(
+        self,
+        node_id: str,
+        rng: random.Random | None = None,
+        modes: Sequence[str] = ("forge", "echo", "view-change"),
+        forged_digest: str = _FORGED_DIGEST,
+        burst: int = 3,
+    ):
+        super().__init__(node_id)
+        self.rng = rng or random.Random(0)
+        self.modes = tuple(modes)
+        self.forged_digest = forged_digest
+        self.burst = burst
+        self.active = True
+        self.messages_flooded = 0
+        self.seen_view = 0
+        self.seen_height = 0
+        self._echoed: set[tuple[str, int, int, str]] = set()
+
+    def on_message(self, message: Message) -> None:
+        if message.kind not in (_PBFT_PREPARE, _PBFT_COMMIT):
+            return
+        payload = message.payload
+        self.seen_view = max(self.seen_view, payload["view"])
+        self.seen_height = max(self.seen_height, payload["height"])
+        if not self.active or "echo" not in self.modes:
+            return
+        key = (message.kind, payload["view"], payload["height"], payload["digest"])
+        # Echo each observed vote once: flooders would otherwise echo each
+        # other's echoes forever, and the dedup set also bounds memory.
+        if key in self._echoed or len(self._echoed) >= 100_000:
+            return
+        self._echoed.add(key)
+        self.broadcast(message.kind, dict(payload))
+        self.messages_flooded += 1
+
+    def flood_burst(self) -> None:
+        """One burst of forged votes aimed at the current consensus round."""
+        if not self.active or self.crashed:
+            return
+        if "forge" in self.modes:
+            for offset in range(1, self.burst + 1):
+                payload = {
+                    "view": self.seen_view,
+                    "height": self.seen_height + offset,
+                    "digest": self.forged_digest,
+                }
+                self.broadcast(_PBFT_PREPARE, payload)
+                self.broadcast(_PBFT_COMMIT, dict(payload))
+                self.messages_flooded += 2
+            # Garbage coordinates: exercises the round-window memory bound.
+            garbage = {
+                "view": self.seen_view + self.rng.randint(100, 10_000),
+                "height": self.seen_height + self.rng.randint(100, 10_000),
+                "digest": self.forged_digest,
+            }
+            self.broadcast(_PBFT_PREPARE, garbage)
+            self.messages_flooded += 1
+        if "view-change" in self.modes:
+            for bump in (1, 2):
+                self.broadcast(_PBFT_VIEW_CHANGE, {"new_view": self.seen_view + bump})
+                self.messages_flooded += 1
+
+    def stop(self) -> None:
+        self.active = False
+
+
+class ChaosSchedule(FailureSchedule):
+    """A :class:`FailureSchedule` that can *generate* its fault plan.
+
+    All randomness comes from ``random.Random(seed)``, so a plan is a
+    pure function of ``(seed, arguments)``.  Every injected fault is
+    appended to ``self.log`` as it fires, which
+    :func:`repro.chain.audit.recovery_latencies` consumes.
+    """
+
+    def __init__(self, sim, network, seed: int = 0):
+        super().__init__(sim=sim, network=network)
+        self.seed = seed
+        self.rng = random.Random(seed)
+        self.flooders: list[VoteFlooder] = []
+
+    # -- additional primitives ------------------------------------------
+
+    def latency_spike_at(self, time: float, duration: float, factor: float) -> None:
+        """Multiply all link delays by *factor* during the window."""
+
+        def spike() -> None:
+            base = self.network.latency
+            wrapper = ScaledLatency(base, factor)
+            self.network.latency = wrapper
+            self.log.append(FailureEvent(time=time, action="latency-spike", target=f"x{factor:g}"))
+
+            def restore() -> None:
+                # Only unwind our own wrapper; leave any later override alone.
+                if self.network.latency is wrapper:
+                    self.network.latency = base
+                self.log.append(
+                    FailureEvent(time=time + duration, action="latency-restore", target=f"x{factor:g}")
+                )
+
+            self.sim.schedule(duration, restore)
+
+        self.sim.schedule_at(time, spike)
+
+    def flooder_at(
+        self,
+        time: float,
+        duration: float,
+        node_id: str | None = None,
+        period: float = 0.5,
+        modes: Sequence[str] = ("forge", "echo", "view-change"),
+        burst: int = 3,
+    ) -> VoteFlooder:
+        """Attach a rogue :class:`VoteFlooder` that bursts every *period*
+        seconds during ``[time, time + duration]``, then goes quiet."""
+        node_id = node_id or f"rogue-{len(self.flooders)}"
+        flooder = VoteFlooder(
+            node_id,
+            rng=random.Random(self.rng.randrange(2**31)),
+            modes=modes,
+            burst=burst,
+        )
+        flooder.active = False
+        self.network.add_node(flooder)
+        self.flooders.append(flooder)
+
+        def start() -> None:
+            flooder.active = True
+            self.log.append(FailureEvent(time=time, action="rogue-start", target=node_id))
+            self._burst_loop(flooder, period, time + duration)
+
+        def stop() -> None:
+            flooder.stop()
+            self.log.append(FailureEvent(time=time + duration, action="rogue-stop", target=node_id))
+
+        self.sim.schedule_at(time, start)
+        self.sim.schedule_at(time + duration, stop)
+        return flooder
+
+    def _burst_loop(self, flooder: VoteFlooder, period: float, until: float) -> None:
+        if not flooder.active or self.sim.now > until:
+            return
+        flooder.flood_burst()
+        self.sim.schedule(period, lambda: self._burst_loop(flooder, period, until))
+
+    # -- generated plans -------------------------------------------------
+
+    def plan(
+        self,
+        duration: float,
+        validators: Sequence[str],
+        scenarios: Iterable[str] = ("crash", "partition", "latency", "rogue"),
+        max_crashed: int = 1,
+    ) -> None:
+        """Generate a randomized fault plan over ``[0, duration]``.
+
+        Crash windows are sequential (never more than *max_crashed*
+        validators down at once) and every fault is undone before
+        *duration*, so a settle period after the plan ends must restore
+        full liveness — which is exactly what the chaos tests assert.
+        """
+        validators = list(validators)
+        scenarios = set(scenarios)
+        if "crash" in scenarios:
+            cursor = self.rng.uniform(0.05, 0.2) * duration
+            while cursor < 0.7 * duration:
+                victim = self.rng.choice(validators)
+                down = self.rng.uniform(0.05, 0.2) * duration
+                down = min(down, 0.95 * duration - cursor)
+                self.crash_at(cursor, victim)
+                self.recover_at(cursor + down, victim)
+                cursor += down + self.rng.uniform(0.05, 0.25) * duration
+        if "partition" in scenarios:
+            start = self.rng.uniform(0.2, 0.5) * duration
+            length = self.rng.uniform(0.1, 0.3) * duration
+            isolated = set(self.rng.sample(validators, self.rng.randint(1, max(1, len(validators) // 3))))
+            self.partition_at(start, isolated)
+            self.heal_at(min(start + length, 0.95 * duration))
+        if "latency" in scenarios:
+            start = self.rng.uniform(0.1, 0.6) * duration
+            length = self.rng.uniform(0.05, 0.2) * duration
+            self.latency_spike_at(start, length, factor=self.rng.uniform(3.0, 8.0))
+        if "rogue" in scenarios:
+            for index in range(self.rng.randint(1, 2)):
+                start = self.rng.uniform(0.05, 0.3) * duration
+                self.flooder_at(
+                    start,
+                    duration=self.rng.uniform(0.3, 0.6) * duration,
+                    period=self.rng.uniform(0.3, 1.0),
+                )

@@ -18,6 +18,7 @@ __all__ = [
     "UniformLatency",
     "LogNormalLatency",
     "GeoLatency",
+    "ScaledLatency",
 ]
 
 
@@ -71,6 +72,23 @@ class LogNormalLatency(LatencyModel):
 
     def sample(self, src: str, dst: str, rng: random.Random) -> float:
         return rng.lognormvariate(self.mu, self.sigma)
+
+
+class ScaledLatency(LatencyModel):
+    """Multiply another model's delays by a constant factor.
+
+    The chaos harness installs this over ``Network.latency`` for a
+    window to model congestion spikes, then restores the base model.
+    """
+
+    def __init__(self, base: LatencyModel, factor: float):
+        if factor <= 0:
+            raise ValueError("factor must be positive")
+        self.base = base
+        self.factor = factor
+
+    def sample(self, src: str, dst: str, rng: random.Random) -> float:
+        return self.base.sample(src, dst, rng) * self.factor
 
 
 class GeoLatency(LatencyModel):

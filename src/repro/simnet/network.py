@@ -10,6 +10,7 @@ networks lose messages too.
 
 from __future__ import annotations
 
+import dataclasses
 import random
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
@@ -19,7 +20,53 @@ from repro.errors import SimulationError
 from repro.simnet.events import Simulator
 from repro.simnet.latency import FixedLatency, LatencyModel
 
-__all__ = ["Message", "NetworkNode", "Network"]
+__all__ = ["Message", "NetworkNode", "Network", "estimate_payload_size"]
+
+#: Fixed per-message framing overhead (addresses, kind, timestamps)
+#: charged on top of the payload estimate.
+_WIRE_OVERHEAD = 64
+#: Traversal cap for the payload-size estimator: pathological payloads
+#: (deep graphs, huge batches) are charged a floor instead of stalling
+#: the hot transmit path.
+_SIZE_VISIT_CAP = 20_000
+
+
+def estimate_payload_size(payload: Any) -> int:
+    """Rough wire size of *payload* in bytes.
+
+    Walks dicts/sequences/dataclasses iteratively, charging scalar
+    leaves their natural encoded size.  The walk is capped at
+    ``_SIZE_VISIT_CAP`` nodes, so the estimate is a lower bound for
+    enormous payloads — good enough for the bandwidth numbers the
+    scalability benchmarks report, and cheap enough for ``transmit``.
+    """
+    total = 0
+    stack = [payload]
+    visited = 0
+    while stack and visited < _SIZE_VISIT_CAP:
+        obj = stack.pop()
+        visited += 1
+        if obj is None or isinstance(obj, bool):
+            total += 1
+        elif isinstance(obj, (int, float)):
+            total += 8
+        elif isinstance(obj, str):
+            total += len(obj)
+        elif isinstance(obj, (bytes, bytearray)):
+            total += len(obj)
+        elif isinstance(obj, dict):
+            for key, value in obj.items():
+                stack.append(key)
+                stack.append(value)
+        elif isinstance(obj, (list, tuple, set, frozenset)):
+            stack.extend(obj)
+        elif dataclasses.is_dataclass(obj):
+            stack.extend(getattr(obj, f.name) for f in dataclasses.fields(obj))
+        elif hasattr(obj, "__dict__"):
+            stack.extend(vars(obj).values())
+        else:
+            total += 8
+    return total
 
 
 @dataclass(frozen=True)
@@ -61,9 +108,10 @@ class NetworkNode(ABC):
         """Send a message to every node on the network."""
         if self.network is None:
             raise SimulationError(f"node {self.node_id} is not attached to a network")
+        size = estimate_payload_size(payload)
         for dst in self.network.node_ids():
             if include_self or dst != self.node_id:
-                self.network.transmit(self.node_id, dst, kind, payload)
+                self.network.transmit(self.node_id, dst, kind, payload, _size=size)
 
 
 @dataclass
@@ -124,8 +172,19 @@ class Network:
         """Split the network: messages only flow within a group.
 
         Nodes not named in any group form an implicit final group.
+        Groups must be disjoint — with overlapping groups, side
+        membership would be resolved by whichever group happens to be
+        checked first, making ``_same_side`` asymmetric (a→b deliverable
+        while b→a drops).
         """
-        named = set().union(*groups) if groups else set()
+        named: set[str] = set()
+        for group in groups:
+            overlap = named & set(group)
+            if overlap:
+                raise SimulationError(
+                    f"partition groups overlap on {sorted(overlap)}"
+                )
+            named |= set(group)
         rest = frozenset(set(self._nodes) - named)
         self._partition = [frozenset(g) for g in groups]
         if rest:
@@ -145,11 +204,21 @@ class Network:
 
     # -- transmission ---------------------------------------------------
 
-    def transmit(self, src: str, dst: str, kind: str, payload: Any) -> None:
-        """Queue a message for delivery (or silently drop it)."""
+    def transmit(
+        self, src: str, dst: str, kind: str, payload: Any, _size: int | None = None
+    ) -> None:
+        """Queue a message for delivery (or silently drop it).
+
+        ``_size`` lets :meth:`NetworkNode.broadcast` estimate a fanned-out
+        payload once instead of once per destination.  Bytes are charged
+        at send time (dropped messages still consumed sender bandwidth).
+        """
         if dst not in self._nodes:
             raise SimulationError(f"unknown destination node {dst!r}")
         self.stats.sent += 1
+        if _size is None:
+            _size = estimate_payload_size(payload)
+        self.stats.bytes_estimate += _WIRE_OVERHEAD + len(kind) + _size
         if not self._same_side(src, dst):
             self.stats.dropped_partition += 1
             return

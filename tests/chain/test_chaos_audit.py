@@ -1,0 +1,114 @@
+"""Seeded chaos runs with the invariant auditor always on.
+
+Each case generates a deterministic fault plan (crashes, partitions,
+latency spikes, rogue vote-flooders) from its seed via
+:class:`~repro.simnet.chaos.ChaosSchedule`, drives client traffic
+through it, and lets :class:`~repro.chain.audit.InvariantAuditor` verify
+agreement, certificate validity, tx durability, and state convergence —
+incrementally after every commit, and in a full forensic pass at the
+end.
+
+The default parametrization keeps tier-1 fast; the ``chaos`` marker
+(``make chaos`` / ``pytest -m chaos``) runs a much wider seed sweep.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.chain import BlockchainNetwork, InvariantAuditor
+from repro.simnet import ChaosSchedule, UniformLatency
+
+DEFAULT_SEEDS = range(10)
+EXTENDED_SEEDS = range(10, 40)
+
+
+def run_chaos_audited(
+    seed: int,
+    consensus: str = "pbft",
+    duration: float = 24.0,
+    settle: float = 40.0,
+    n_txs: int = 12,
+) -> tuple[BlockchainNetwork, InvariantAuditor, ChaosSchedule]:
+    """One audited chaos run; returns the network, auditor, and schedule."""
+    from tests.conftest import CounterContract
+
+    rng = random.Random(seed)
+    network = BlockchainNetwork(
+        n_peers=4, consensus=consensus, block_interval=0.5,
+        latency=UniformLatency(0.01, 0.08), seed=seed, view_timeout=4.0,
+        drop_probability=rng.choice([0.0, 0.02]),
+    )
+    network.install_contract(CounterContract)
+    auditor = InvariantAuditor(network)  # strict: violations raise mid-run
+    chaos = ChaosSchedule(network.sim, network.net, seed=seed)
+    scenarios = ("crash", "partition", "latency", "rogue") if consensus == "pbft" else (
+        "crash", "partition", "latency")
+    chaos.plan(duration, validators=[p.node_id for p in network.peers],
+               scenarios=scenarios)
+    client = network.client()
+    for _ in range(n_txs):
+        tx = network.endorse_transaction(client, "counter", "increment", {"amount": 1})
+        network.submit(tx)
+        network.run_for(rng.uniform(0.4, duration / n_txs))
+    network.run_for(max(0.0, duration - network.sim.now) + settle)
+    network.stop()
+    auditor.final_check()
+    return network, auditor, chaos
+
+
+@pytest.mark.parametrize("seed", DEFAULT_SEEDS)
+def test_chaos_audit_pbft(seed):
+    network, auditor, chaos = run_chaos_audited(seed)
+    assert auditor.violations == []
+    assert auditor.blocks_audited > 0, "chaos plan starved the run entirely"
+    assert auditor.tracked_txs, "no transactions were tracked"
+    # The plan actually injected faults (the schedule logs what fired).
+    assert chaos.log, "chaos plan injected nothing"
+    # Rogue flooders (if the plan spawned any) were rejected wholesale.
+    if chaos.flooders:
+        assert sum(f.messages_flooded for f in chaos.flooders) > 0
+        assert sum(p.engine.votes_rejected_nonvalidator for p in network.peers) > 0
+
+
+@pytest.mark.parametrize("seed", [0, 3])
+def test_chaos_audit_poa(seed):
+    """The auditor is engine-agnostic: agreement/durability/convergence
+    hold for the PoA orderer too (certificates are PBFT-only)."""
+    network, auditor, chaos = run_chaos_audited(seed, consensus="poa")
+    assert auditor.violations == []
+    assert auditor.blocks_audited > 0
+
+
+def test_determinism_same_seed_same_run():
+    """A chaos run is a pure function of its seed."""
+    network_a, auditor_a, chaos_a = run_chaos_audited(5)
+    network_b, auditor_b, chaos_b = run_chaos_audited(5)
+    assert network_a.committed_heights() == network_b.committed_heights()
+    assert [(e.time, e.action, e.target) for e in chaos_a.log] == [
+        (e.time, e.action, e.target) for e in chaos_b.log
+    ]
+    digests_a = {p.node_id: p.state.state_digest() for p in network_a.peers}
+    digests_b = {p.node_id: p.state.state_digest() for p in network_b.peers}
+    assert digests_a == digests_b
+
+
+def test_rounds_bounded_after_chaos():
+    """Chaos (incl. garbage-coordinate floods) must not leak round state."""
+    network, _, _ = run_chaos_audited(2)
+    for peer in network.peers:
+        engine = peer.engine
+        assert len(engine._rounds) <= engine.HEIGHT_WINDOW * (engine.VIEW_WINDOW + 1)
+        assert len(engine._view_votes) <= engine.VIEW_WINDOW + 1
+
+
+@pytest.mark.chaos
+@pytest.mark.parametrize("seed", EXTENDED_SEEDS)
+def test_chaos_audit_pbft_extended(seed):
+    """The wide sweep behind ``make chaos``: 30 more seeds, longer runs."""
+    network, auditor, chaos = run_chaos_audited(seed, duration=40.0, settle=50.0, n_txs=20)
+    assert auditor.violations == []
+    assert auditor.blocks_audited > 0
+    assert chaos.log

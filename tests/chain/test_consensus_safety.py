@@ -16,11 +16,11 @@ import random
 
 import pytest
 
-from repro.chain import BlockchainNetwork
+from repro.chain import BlockchainNetwork, InvariantAuditor
 from repro.simnet import FailureSchedule, UniformLatency
 
 
-def _run_chaos(seed: int, consensus: str) -> BlockchainNetwork:
+def _run_chaos(seed: int, consensus: str) -> tuple[BlockchainNetwork, InvariantAuditor]:
     from tests.conftest import CounterContract
 
     rng = random.Random(seed)
@@ -31,6 +31,7 @@ def _run_chaos(seed: int, consensus: str) -> BlockchainNetwork:
         drop_probability=rng.choice([0.0, 0.02]),
     )
     network.install_contract(CounterContract)
+    auditor = InvariantAuditor(network)  # strict: any violation raises
     schedule = FailureSchedule(network.sim, network.net)
     peer_ids = [p.node_id for p in network.peers]
     # Random fault plan: at most one peer down at a time (stay within f=1).
@@ -47,17 +48,19 @@ def _run_chaos(seed: int, consensus: str) -> BlockchainNetwork:
     for index in range(15):
         tx = network.endorse_transaction(client, "counter", "increment", {"amount": 1})
         entry = rng.choice(network.peers)
-        entry.submit(tx)  # may be crashed/partitioned — that's the point
+        if entry.submit(tx):  # may be crashed/partitioned — that's the point
+            auditor.track_tx(tx.tx_id)
         network.run_for(rng.uniform(0.5, 2.0))
     network.run_for(30.0)
-    return network
+    return network, auditor
 
 
 @pytest.mark.parametrize("seed", range(6))
 @pytest.mark.parametrize("consensus", ["poa", "pbft"])
 def test_safety_under_random_faults(seed, consensus):
-    network = _run_chaos(1000 + seed, consensus)
+    network, auditor = _run_chaos(1000 + seed, consensus)
     network.assert_convergence()  # prefix + state-digest consistency
+    assert not auditor.final_check()  # agreement/certificates/durability too
     for peer in network.peers:
         assert peer.ledger.verify_chain()
 
@@ -72,6 +75,7 @@ def test_pbft_byzantine_plus_crash_is_beyond_f_but_safe():
         byzantine_peers={"peer-0"}, view_timeout=3.0,
     )
     network.install_contract(CounterContract)
+    auditor = InvariantAuditor(network)
     network.peers[3].crashed = True
     client = network.client()
     for _ in range(5):
@@ -80,3 +84,6 @@ def test_pbft_byzantine_plus_crash_is_beyond_f_but_safe():
         network.run_for(2.0)
     network.run_for(30.0)
     network.assert_convergence()  # no fork among live honest peers
+    auditor.check_agreement()
+    auditor.check_certificates()
+    assert not auditor.violations

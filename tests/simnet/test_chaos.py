@@ -1,0 +1,110 @@
+"""Unit tests for the seeded chaos harness (scheduling mechanics only;
+consensus-facing behavior is covered in tests/chain/test_chaos_audit.py)."""
+
+import pytest
+
+from repro.simnet import (
+    ChaosSchedule,
+    FixedLatency,
+    Message,
+    Network,
+    NetworkNode,
+    ScaledLatency,
+    Simulator,
+    VoteFlooder,
+)
+
+
+class Recorder(NetworkNode):
+    def __init__(self, node_id: str):
+        super().__init__(node_id)
+        self.received: list[Message] = []
+
+    def on_message(self, message: Message) -> None:
+        self.received.append(message)
+
+
+def build(n: int = 4):
+    sim = Simulator()
+    net = Network(sim, latency=FixedLatency(0.05))
+    nodes = [Recorder(f"n{i}") for i in range(n)]
+    for node in nodes:
+        net.add_node(node)
+    return sim, net, nodes
+
+
+def test_latency_spike_installs_and_restores():
+    sim, net, nodes = build(2)
+    base = net.latency
+    chaos = ChaosSchedule(sim, net, seed=1)
+    chaos.latency_spike_at(1.0, duration=2.0, factor=10.0)
+    sim.run(until=1.5)
+    assert isinstance(net.latency, ScaledLatency)
+    nodes[0].send("n1", "slow", None)
+    sim.run(until=1.9)
+    assert nodes[1].received == []  # the 0.05 s link now takes 0.5 s
+    sim.run(until=8.0)
+    assert net.latency is base
+    assert len(nodes[1].received) == 1
+    actions = [e.action for e in chaos.log]
+    assert actions == ["latency-spike", "latency-restore"]
+
+
+def test_scaled_latency_validates_factor():
+    with pytest.raises(ValueError):
+        ScaledLatency(FixedLatency(0.1), 0.0)
+
+
+def test_flooder_lifecycle_and_log():
+    sim, net, nodes = build(3)
+    chaos = ChaosSchedule(sim, net, seed=3)
+    flooder = chaos.flooder_at(1.0, duration=3.0, period=0.5, modes=("forge",))
+    assert flooder.node_id in net.node_ids()
+    sim.run(until=10.0)
+    assert not flooder.active
+    assert flooder.messages_flooded > 0
+    # Every other node saw forged pbft traffic from the rogue.
+    for node in nodes:
+        assert any(m.src == flooder.node_id for m in node.received)
+    actions = [e.action for e in chaos.log]
+    assert actions == ["rogue-start", "rogue-stop"]
+
+
+def test_flooder_echo_dedups_and_tracks_view():
+    sim, net, nodes = build(2)
+    flooder = VoteFlooder("rogue", modes=("echo",))
+    net.add_node(flooder)
+    payload = {"view": 3, "height": 9, "digest": "d" * 64}
+    for _ in range(5):
+        nodes[0].broadcast("pbft-prepare", payload)
+    sim.run()
+    assert flooder.seen_view == 3 and flooder.seen_height == 9
+    # Five identical observations echo exactly once.
+    echoes = [m for m in nodes[1].received if m.src == "rogue"]
+    assert len(echoes) == 1
+
+
+def test_plan_is_deterministic_per_seed():
+    def plan_log(seed):
+        sim, net, _ = build(4)
+        chaos = ChaosSchedule(sim, net, seed=seed)
+        chaos.plan(duration=20.0, validators=net.node_ids())
+        sim.run(until=60.0)
+        return [(e.time, e.action, e.target) for e in chaos.log]
+
+    assert plan_log(11) == plan_log(11)
+    assert plan_log(11) != plan_log(12)
+
+
+def test_plan_undoes_every_fault_before_duration():
+    """Crashes recover, partitions heal, spikes end: a settle period
+    after the plan must always see a fully healthy network."""
+    for seed in range(8):
+        sim, net, nodes = build(5)
+        chaos = ChaosSchedule(sim, net, seed=seed)
+        chaos.plan(duration=30.0, validators=net.node_ids())
+        sim.run(until=31.0)
+        assert all(not node.crashed for node in nodes)
+        assert net._partition is None
+        assert not isinstance(net.latency, ScaledLatency)
+        assert all(not f.active for f in chaos.flooders)

@@ -135,3 +135,62 @@ def test_uniform_latency_in_bounds():
     model = UniformLatency(0.01, 0.05)
     samples = [model.sample("a", "b", rng) for _ in range(200)]
     assert all(0.01 <= s <= 0.05 for s in samples)
+
+
+def test_overlapping_partition_groups_rejected():
+    """Overlapping groups would make _same_side asymmetric (resolution
+    depends on which group is checked first) — must be an error."""
+    sim, net, nodes = build(3)
+    with pytest.raises(SimulationError):
+        net.partition({"n0", "n1"}, {"n1", "n2"})
+    # The bad call must not have half-installed a partition.
+    nodes[0].send("n2", "still-flowing", None)
+    sim.run()
+    assert len(nodes[2].received) == 1
+
+
+def test_disjoint_partition_groups_still_fine():
+    sim, net, nodes = build(4)
+    net.partition({"n0", "n1"}, {"n2"})
+    nodes[0].send("n1", "ok", None)
+    nodes[2].send("n3", "cross", None)
+    sim.run()
+    assert len(nodes[1].received) == 1
+    assert len(nodes[3].received) == 0  # n2 and n3 are in different groups
+
+
+def test_bytes_estimate_counts_traffic():
+    """bytes_estimate was declared but never incremented (seed bug)."""
+    sim, net, nodes = build(2)
+    nodes[0].send("n1", "ping", {"key": "value", "n": 7})
+    sim.run()
+    assert net.stats.bytes_estimate > 0
+    before = net.stats.bytes_estimate
+    nodes[0].send("n1", "ping", {"key": "value" * 100, "n": 7})
+    sim.run()
+    # A 100x larger payload costs visibly more estimated bandwidth.
+    assert net.stats.bytes_estimate - before > before
+
+
+def test_bytes_estimate_charged_even_for_drops():
+    """Sender bandwidth is spent whether or not delivery succeeds."""
+    sim, net, nodes = build(2)
+    net.partition({"n0"})
+    nodes[0].send("n1", "lost", {"data": "x" * 50})
+    sim.run()
+    assert net.stats.dropped_partition == 1
+    assert net.stats.bytes_estimate > 50
+
+
+def test_payload_size_estimator_shapes():
+    from repro.simnet import estimate_payload_size
+
+    assert estimate_payload_size(None) == 1
+    assert estimate_payload_size("abcd") == 4
+    assert estimate_payload_size(b"abcd") == 4
+    assert estimate_payload_size(123) == 8
+    assert estimate_payload_size({"ab": "cd"}) == 4
+    assert estimate_payload_size(["ab", "cd", 1]) == 12
+    # Dataclasses are walked field by field.
+    msg = Message(src="a", dst="b", kind="kk", payload="pppp", sent_at=0.0)
+    assert estimate_payload_size(msg) == 1 + 1 + 2 + 4 + 8
