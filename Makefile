@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test chaos bench
+.PHONY: test chaos bench recovery
 
 # Tier-1: fast default suite (chaos-marked sweeps excluded via addopts).
 test:
@@ -13,3 +13,8 @@ chaos:
 
 bench:
 	$(PYTHON) -m pytest benchmarks -q
+
+# Crash-recovery: deep catch-up tests + the recovery benchmark
+# (writes benchmarks/latest_recovery.json).
+recovery:
+	$(PYTHON) -m pytest tests/chain/test_sync_recovery.py benchmarks/bench_recovery.py -q

@@ -45,7 +45,10 @@ def _run(label: str, crash: str | None = None, byzantine: set[str] | None = None
         for index in range(burst_start, burst_start + 4):
             tx = network.endorse_transaction(client, "counter", "increment", {"amount": 1})
             entry = network.peers[(index % 3) + 1]  # avoid the (possibly dead) peer-0
-            entry.submit(tx)
+            if not entry.submit(tx).accepted:
+                # The entry peer refused (e.g. it is the crashed replica);
+                # a real client's RPC would fail and retry elsewhere.
+                network.submit(tx)
             submitted.append(tx.tx_id)
         network.run_for(2.4)
     network.run_for(25)

@@ -30,8 +30,9 @@ from repro.chain.ledger import CommittedTx, Ledger
 from repro.chain.local import LocalChain
 from repro.chain.mempool import Mempool
 from repro.chain.network import BlockchainNetwork, ChainClient
-from repro.chain.peer import Peer
+from repro.chain.peer import Admission, Peer
 from repro.chain.state import StateSnapshot, WorldState
+from repro.chain.sync import SyncManager, SyncMetrics
 from repro.chain.transaction import Endorsement, Transaction, TxReceipt
 
 __all__ = [
@@ -60,7 +61,10 @@ __all__ = [
     "Mempool",
     "BlockchainNetwork",
     "ChainClient",
+    "Admission",
     "Peer",
+    "SyncManager",
+    "SyncMetrics",
     "StateSnapshot",
     "WorldState",
     "Endorsement",

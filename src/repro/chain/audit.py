@@ -19,7 +19,18 @@ checks, cheap) and again at end-of-run (full-ledger forensics):
   change);
 - **state convergence** — the existing
   :meth:`~repro.chain.network.BlockchainNetwork.assert_convergence`
-  prefix/app-hash check, surfaced as a structured violation.
+  prefix/app-hash check, surfaced as a structured violation;
+- **catch-up liveness** — at end of run every live honest peer must sit
+  at the network head with the identical ``state_digest()`` (a recovered
+  peer that silently stays behind forever is a liveness bug, which the
+  old min-height prefix check masked), and — given a fault log — every
+  peer recovered or restarted at time *t* must have reached the head
+  height that existed at *t* within ``sync_window`` seconds.
+
+Crash-*restart* faults (see :meth:`~repro.simnet.failure.
+FailureSchedule.restart_at`) legitimately wipe a peer's mempool; the
+auditor is told which pending tx ids were wiped and excuses exactly
+those from the durability check — an injected loss, not a protocol drop.
 
 Violations raise (or, with ``strict=False``, collect) structured
 :class:`AuditViolation` errors carrying full round forensics.  The
@@ -65,7 +76,7 @@ class AuditViolation(ChainError):
         peers: tuple[str, ...] = (),
         forensics: dict[str, Any] | None = None,
     ):
-        self.invariant = invariant
+        self.invariant = invariant  # "agreement" | "certificate" | "durability" | "convergence" | "catchup"
         self.detail = detail
         self.height = height
         self.peers = tuple(peers)
@@ -93,8 +104,14 @@ class InvariantAuditor:
         self.checks_run = 0
         #: tx_id -> simulated admission time, for the durability check.
         self.tracked_txs: dict[str, float] = {}
+        #: pending tx ids wiped by injected crash-restarts — excused from
+        #: the durability check (fault-induced loss, not a protocol drop).
+        self.restart_wiped: set[str] = set()
         #: height -> {digest: first honest peer that committed it}.
         self._height_digests: dict[int, dict[str, str]] = {}
+        #: node id -> [(time, height)] commit trajectory, for catch-up
+        #: latency measurement (monotone in both coordinates).
+        self._commit_history: dict[str, list[tuple[float, int]]] = {}
         self._watched: set[str] = set()
         network.auditors.append(self)
         for peer in network.peers:
@@ -107,7 +124,12 @@ class InvariantAuditor:
         if peer.node_id in self._watched:
             return
         self._watched.add(peer.node_id)
+        self._commit_history[peer.node_id] = [(self.network.sim.now, peer.ledger.height)]
         peer.commit_listeners.append(self._on_block_committed)
+        peer.restart_listeners.append(self._on_peer_restarted)
+
+    def _on_peer_restarted(self, peer: "Peer", wiped: set[str]) -> None:
+        self.restart_wiped |= wiped
 
     def on_tx_admitted(self, tx: "Transaction") -> None:
         """Record an admitted transaction for the durability invariant."""
@@ -122,6 +144,9 @@ class InvariantAuditor:
 
     def _on_block_committed(self, peer: "Peer", block: Block) -> None:
         self.blocks_audited += 1
+        self._commit_history.setdefault(peer.node_id, []).append(
+            (self.network.sim.now, block.height)
+        )
         if peer.byzantine:
             return  # a byzantine ledger carries no guarantees to audit
         self._check_agreement_incremental(peer, block)
@@ -192,12 +217,23 @@ class InvariantAuditor:
 
     # -- end-of-run checks -------------------------------------------------
 
-    def final_check(self) -> list[AuditViolation]:
-        """Run the full audit; returns (and with ``strict`` raises) violations."""
+    def final_check(
+        self,
+        failures: list["FailureEvent"] | None = None,
+        sync_window: float | None = None,
+    ) -> list[AuditViolation]:
+        """Run the full audit; returns (and with ``strict`` raises) violations.
+
+        Pass the fault injector's ``log`` as *failures* (and optionally a
+        *sync_window* bound in simulated seconds) to also audit per-event
+        catch-up latency; without it only the end-state catch-up check
+        runs.
+        """
         self.check_agreement()
         self.check_certificates()
         self.check_durability()
         self.check_convergence()
+        self.check_catchup(failures=failures, sync_window=sync_window)
         return list(self.violations)
 
     def check_agreement(self) -> None:
@@ -286,6 +322,10 @@ class InvariantAuditor:
         appears in none of receipts / mempools / open rounds has been
         silently lost — exactly what the seed engine did when a view
         change discarded a deposed primary's round.
+
+        Tx ids wiped by an injected crash-*restart* are excused: losing
+        a restarted node's mempool is the fault being modeled, not a
+        protocol bug (the excused count is reported in forensics).
         """
         self.checks_run += 1
         honest = [p for p in self.network.peers if not p.byzantine]
@@ -294,13 +334,15 @@ class InvariantAuditor:
             pending = getattr(peer.engine, "pending_txs", None)
             if pending is not None:
                 in_flight |= pending()
-        lost = [
+        missing = [
             (tx_id, admitted_at)
             for tx_id, admitted_at in self.tracked_txs.items()
             if tx_id not in in_flight
             and not any(tx_id in p.receipts for p in honest)
             and not any(tx_id in p.mempool for p in honest)
         ]
+        lost = [(t, a) for t, a in missing if t not in self.restart_wiped]
+        excused = len(missing) - len(lost)
         if lost:
             self._violate(
                 "durability",
@@ -312,6 +354,7 @@ class InvariantAuditor:
                         for tx_id, admitted_at in lost[:20]
                     ],
                     "lost_total": len(lost),
+                    "lost_excused": excused,
                     "tracked_total": len(self.tracked_txs),
                 },
             )
@@ -330,6 +373,126 @@ class InvariantAuditor:
                 forensics={"heights": self.network.committed_heights()},
             )
 
+    def check_catchup(
+        self,
+        failures: list["FailureEvent"] | None = None,
+        sync_window: float | None = None,
+    ) -> None:
+        """Catch-up liveness: nobody honest and alive stays behind.
+
+        End-state: every live honest peer must sit at the maximum honest
+        height with the identical ``state_digest()``.  This is strictly
+        stronger than the old min-height prefix check, which passed even
+        when a recovered peer silently never caught up.
+
+        Per-event (needs *failures*): for every ``recover`` / ``restart``
+        fault at time *t*, the peer must have reached the head height
+        that existed at *t*.  With *sync_window* set, it must have done
+        so within that many simulated seconds.
+        """
+        self.checks_run += 1
+        honest = [p for p in self.network.peers if not p.byzantine]
+        live = [p for p in honest if not p.crashed]
+        if live:
+            head = max(p.ledger.height for p in honest)
+            behind = [p for p in live if p.ledger.height < head]
+            if behind:
+                self._violate(
+                    "catchup",
+                    f"{len(behind)} live honest peer(s) below head height {head}",
+                    height=head,
+                    peers=tuple(sorted(p.node_id for p in behind)),
+                    forensics={
+                        "heights": {p.node_id: p.ledger.height for p in honest},
+                        "time": self.network.sim.now,
+                    },
+                )
+            digests = {p.state.state_digest() for p in live if p.ledger.height == head}
+            if len(digests) > 1:
+                self._violate(
+                    "catchup",
+                    "live honest peers at head disagree on state_digest()",
+                    height=head,
+                    peers=tuple(sorted(p.node_id for p in live)),
+                    forensics={
+                        "digests": {
+                            p.node_id: p.state.state_digest()
+                            for p in live
+                            if p.ledger.height == head
+                        },
+                    },
+                )
+        if failures is None:
+            return
+        for event, latency in self.catchup_latencies(failures):
+            if latency is None:
+                self._violate(
+                    "catchup",
+                    f"{event.target} never reached the head height that existed "
+                    f"when it came back at t={event.time:g} ({event.action})",
+                    peers=(event.target,),
+                    forensics={"event": event, "sync_window": sync_window},
+                )
+            elif sync_window is not None and latency > sync_window:
+                self._violate(
+                    "catchup",
+                    f"{event.target} took {latency:.2f}s to catch up after its "
+                    f"{event.action} at t={event.time:g} (window {sync_window:g}s)",
+                    peers=(event.target,),
+                    forensics={
+                        "event": event,
+                        "latency": latency,
+                        "sync_window": sync_window,
+                    },
+                )
+
+    def catchup_latencies(
+        self, failures: list["FailureEvent"]
+    ) -> list[tuple["FailureEvent", float | None]]:
+        """For each recover/restart fault, time until the peer reached the
+        head height that existed at the moment it came back.
+
+        Only honest watched peers are measured (a byzantine node is under
+        no obligation to catch up).  Latency is ``0.0`` when the peer was
+        already at the then-head at recovery time, ``None`` when the run
+        ended before it got there.
+        """
+        honest_ids = {p.node_id for p in self.network.peers if not p.byzantine}
+        out: list[tuple[FailureEvent, float | None]] = []
+        for event in failures:
+            if event.action not in ("recover", "restart"):
+                continue
+            if event.target not in honest_ids or event.target not in self._commit_history:
+                continue
+            target_height = self._head_height_at(event.time)
+            reached = self._reached_height_at(event.target, target_height, event.time)
+            out.append((event, reached - event.time if reached is not None else None))
+        return out
+
+    def _head_height_at(self, time: float) -> int:
+        """Max honest height on record at simulated *time*."""
+        byzantine = {p.node_id for p in self.network.peers if p.byzantine}
+        head = 0
+        for node_id, history in self._commit_history.items():
+            if node_id in byzantine:
+                continue
+            for t, height in history:
+                if t > time:
+                    break
+                head = max(head, height)
+        return head
+
+    def _reached_height_at(
+        self, node_id: str, height: int, not_before: float
+    ) -> float | None:
+        """Earliest time ≥ *not_before* at which *node_id* had *height*."""
+        for t, h in self._commit_history[node_id]:
+            if h >= height and t >= not_before:
+                return t
+            if h >= height and t < not_before:
+                return not_before  # already there when it came back
+        return None
+
     # -- reporting ---------------------------------------------------------
 
     def summary(self) -> dict[str, Any]:
@@ -341,6 +504,7 @@ class InvariantAuditor:
             "blocks_audited": self.blocks_audited,
             "checks_run": self.checks_run,
             "txs_tracked": len(self.tracked_txs),
+            "restart_wiped": len(self.restart_wiped),
             "violations": len(self.violations),
             "violations_by_invariant": by_invariant,
         }

@@ -11,11 +11,12 @@ design).
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Any
 
 from repro.simnet.network import Message
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.chain.block import Block
     from repro.chain.peer import Peer
 
 __all__ = ["ConsensusEngine"]
@@ -46,3 +47,27 @@ class ConsensusEngine(ABC):
 
     def on_transaction_admitted(self) -> None:
         """Hook: the peer admitted a new transaction to its mempool."""
+
+    # -- sync integration (see repro.chain.sync) ---------------------------
+
+    def verify_synced_block(self, block: "Block", proof: Any) -> bool:
+        """May a block fetched by the :class:`~repro.chain.sync.SyncManager`
+        be applied?  Hash-chain linkage and structure are already checked
+        by the manager; engines add their protocol-specific proof here
+        (PBFT: a stored 2f+1 commit certificate; PoA: the expected-leader
+        check).  The default accepts."""
+        return True
+
+    def sync_proof(self, height: int) -> Any:
+        """The proof to attach when *serving* block *height* to a lagging
+        peer (``None`` when the protocol needs none)."""
+        return None
+
+    def on_synced_block(self, block: "Block", proof: Any) -> None:
+        """Hook fired just before a sync-fetched block is committed, so
+        engines can record bookkeeping (e.g. PBFT commit certificates)."""
+
+    def on_restart(self) -> None:
+        """Wipe volatile engine state after a simulated process restart
+        (open rounds, vote tallies, timers) and re-arm from scratch."""
+

@@ -1,9 +1,18 @@
 """Practical Byzantine Fault Tolerance over the simulated network.
 
 A faithful (if compact) PBFT: pre-prepare / prepare / commit phases with
-2f+1 quorums, view changes on timeout, and state sync for replicas that
-miss a round.  Tolerates f faulty of n = 3f+1 validators, including an
-equivocating (byzantine) primary — see ``tests/chain/test_pbft.py``.
+2f+1 quorums and view changes on timeout.  Tolerates f faulty of
+n = 3f+1 validators, including an equivocating (byzantine) primary — see
+``tests/chain/test_pbft.py``.
+
+State transfer for replicas that fall behind — whether by one round or
+by a long crash window — is *not* handled here: the engine hands any
+committed block it cannot apply immediately to the peer's
+:class:`~repro.chain.sync.SyncManager` (buffer-and-fetch with retries,
+backoff, and provider failover), and flags every height-ahead consensus
+message as a lag hint.  Sync-fetched blocks are only applied when they
+carry this replica's stored 2f+1 commit certificate for that height
+(:meth:`PBFTEngine.verify_synced_block`).
 
 Simplifications relative to Castro & Liskov, documented here because
 they matter when reading experiment results:
@@ -41,6 +50,7 @@ continuously re-verified under fault injection by
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any
 
 from repro.chain.block import Block
 from repro.chain.consensus.base import ConsensusEngine
@@ -103,6 +113,8 @@ class PBFTEngine(ConsensusEngine):
         self._tick_scheduled = False
         self._timer_scheduled = False
         self._timer_height = -1
+        self._tick_event = None
+        self._timer_event = None
         self.view_changes_completed = 0
         self.votes_rejected_nonvalidator = 0
         #: height -> (digest, sorted certificate) for every block this
@@ -163,7 +175,9 @@ class PBFTEngine(ConsensusEngine):
             return
         self._tick_scheduled = True
         assert self.peer is not None
-        self.peer.sim.schedule(self.block_interval, self._tick, label=f"pbft-tick:{self.peer.node_id}")
+        self._tick_event = self.peer.sim.schedule(
+            self.block_interval, self._tick, label=f"pbft-tick:{self.peer.node_id}"
+        )
 
     def _tick(self) -> None:
         self._tick_scheduled = False
@@ -171,7 +185,15 @@ class PBFTEngine(ConsensusEngine):
             return
         peer = self.peer
         assert peer is not None
-        if self.is_primary() and not peer.crashed and len(peer.mempool) > 0:
+        if (
+            self.is_primary()
+            and not peer.crashed
+            and len(peer.mempool) > 0
+            # A primary that knows it is behind must sync before it
+            # proposes: a stale-height pre-prepare can never gather
+            # quorum and only wastes the round.
+            and not peer.sync.is_lagging()
+        ):
             next_height = peer.ledger.height + 1
             if self._round(self.view, next_height).digest is None:
                 self._propose(next_height)
@@ -221,6 +243,9 @@ class PBFTEngine(ConsensusEngine):
         if view != self.view or src != self.primary_for(view):
             return
         if height != peer.ledger.height + 1:
+            if height > peer.ledger.height + 1:
+                # The primary is proposing past our head: we missed blocks.
+                peer.sync.note_remote_height(src, height - 1)
             return
         state = self._round(view, height)
         if state.digest is not None and state.digest != block.block_hash:
@@ -240,6 +265,10 @@ class PBFTEngine(ConsensusEngine):
         if not self._member(src):
             self.votes_rejected_nonvalidator += 1
             return  # only validators vote toward quorums
+        if height > self.peer.ledger.height + 1:
+            # A validator voting at a height we cannot reach implies a
+            # longer chain; a lie costs it a timed-out fetch, nothing more.
+            self.peer.sync.note_remote_height(src, height - 1)
         if not self._in_window(view, height):
             return  # stale or far-future; don't allocate round state
         state = self._round(view, height)
@@ -253,6 +282,8 @@ class PBFTEngine(ConsensusEngine):
         if not self._member(src):
             self.votes_rejected_nonvalidator += 1
             return  # only validators vote toward quorums
+        if height > self.peer.ledger.height + 1:
+            self.peer.sync.note_remote_height(src, height - 1)
         if not self._in_window(view, height):
             return  # stale or far-future; don't allocate round state
         state = self._round(view, height)
@@ -331,7 +362,7 @@ class PBFTEngine(ConsensusEngine):
         assert peer is not None
         self._timer_scheduled = True
         expected = peer.ledger.height
-        self.peer.sim.schedule(
+        self._timer_event = self.peer.sim.schedule(
             self.view_timeout,
             lambda: self._view_timer_fired(expected),
             label=f"pbft-timer:{peer.node_id}",
@@ -384,16 +415,53 @@ class PBFTEngine(ConsensusEngine):
 
     # -- sync -------------------------------------------------------------------
 
-    def _on_committed(self, block: Block, certificate: list[str]) -> None:
+    def _on_committed(self, block: Block, certificate: list[str], src: str) -> None:
+        """A peer announced a committed block with its certificate.
+
+        Everything beyond the quick quorum pre-filter is delegated to the
+        peer's :class:`~repro.chain.sync.SyncManager`: next-in-line blocks
+        verify (via :meth:`verify_synced_block`) and apply immediately,
+        height-ahead blocks are buffered and the gap is fetched — the
+        seed engine silently dropped those, stranding any replica that
+        missed more than one block.
+        """
         peer = self.peer
         assert peer is not None
         valid_signers = {signer for signer in certificate if signer in self._validator_set}
         if len(valid_signers) < self.quorum:
             return
-        if block.height == peer.ledger.height + 1:
-            self._record_certificate(block.height, block.block_hash, sorted(certificate))
-            self._cleanup_height(block.height)
-            peer.commit_block(block)
+        peer.sync.offer_block(block, list(certificate), src=src)
+
+    def verify_synced_block(self, block: Block, proof: Any) -> bool:
+        """A fetched block needs a 2f+1-distinct-validator certificate."""
+        if not isinstance(proof, (list, tuple)):
+            return False
+        return len(set(proof) & self._validator_set) >= self.quorum
+
+    def sync_proof(self, height: int) -> list[str] | None:
+        """Serve the stored commit certificate alongside the block."""
+        entry = self.commit_certificates.get(height)
+        return list(entry[1]) if entry is not None else None
+
+    def on_synced_block(self, block: Block, proof: Any) -> None:
+        self._record_certificate(block.height, block.block_hash, sorted(proof))
+        self._cleanup_height(block.height)
+
+    def on_restart(self) -> None:
+        """Crash-restart: open rounds, vote tallies, and timers are
+        volatile and do not survive; the view number is recovered from
+        stable storage (Castro–Liskov §4.3 persists it for exactly this
+        reason), so it is kept."""
+        for event in (self._tick_event, self._timer_event):
+            if event is not None:
+                event.cancel()
+        self._tick_event = self._timer_event = None
+        self._rounds.clear()
+        self._view_votes.clear()
+        self._tick_scheduled = False
+        self._timer_scheduled = False
+        self._timer_height = -1
+        self.start()
 
     # -- dispatch ----------------------------------------------------------------
 
@@ -408,7 +476,7 @@ class PBFTEngine(ConsensusEngine):
         elif message.kind == _VIEW_CHANGE:
             self._vote_view_change(payload["new_view"], message.src)
         elif message.kind == _COMMITTED:
-            self._on_committed(payload["block"], payload["certificate"])
+            self._on_committed(payload["block"], payload["certificate"], message.src)
         else:
             return False
         return True

@@ -12,9 +12,21 @@ stalls until rotation reaches a live leader (followers accept any
 height-h block from the height-h leader, so a recovered leader can fill
 the gap).  A production orderer would failover faster; for experiments
 the stall *is* the observable cost of leader failure.
+
+Catch-up is delegated to the peer's
+:class:`~repro.chain.sync.SyncManager`: height-ahead blocks are buffered
+there and the gap is fetched with retries and provider failover.  This
+replaces the orderer's old ad-hoc anti-entropy probe, which only fired
+while the mempool was non-empty (a behind peer with no pending work
+stalled forever) and never retried a probe lost to drops or a crashed
+provider.  A fetched block is applied only if its proposer is the
+expected leader for its height (:meth:`RoundRobinOrderer.
+verify_synced_block`).
 """
 
 from __future__ import annotations
+
+from typing import Any
 
 from repro.chain.block import Block
 from repro.chain.consensus.base import ConsensusEngine
@@ -23,7 +35,6 @@ from repro.simnet.network import Message
 __all__ = ["RoundRobinOrderer"]
 
 _KIND_BLOCK = "poa-block"
-_KIND_SYNC_REQUEST = "poa-sync-request"
 
 
 class RoundRobinOrderer(ConsensusEngine):
@@ -42,9 +53,7 @@ class RoundRobinOrderer(ConsensusEngine):
         self.block_interval = block_interval
         self.max_block_txs = max_block_txs
         self._tick_scheduled = False
-        self._future_blocks: dict[int, Block] = {}
-        self._stall_ticks = 0
-        self._last_seen_height = -1
+        self._tick_event = None
 
     def leader_for(self, height: int) -> str:
         return self.validators[height % len(self.validators)]
@@ -57,7 +66,9 @@ class RoundRobinOrderer(ConsensusEngine):
             return
         self._tick_scheduled = True
         assert self.peer is not None
-        self.peer.sim.schedule(self.block_interval, self._tick, label=f"poa-tick:{self.peer.node_id}")
+        self._tick_event = self.peer.sim.schedule(
+            self.block_interval, self._tick, label=f"poa-tick:{self.peer.node_id}"
+        )
 
     def _tick(self) -> None:
         self._tick_scheduled = False
@@ -66,30 +77,18 @@ class RoundRobinOrderer(ConsensusEngine):
         peer = self.peer
         assert peer is not None
         next_height = peer.ledger.height + 1
-        if self.leader_for(next_height) == peer.node_id and not peer.crashed:
+        # A leader that knows it is behind must not propose: its stale
+        # block would be rejected everywhere but committed locally — a
+        # self-inflicted fork.  (A leader that is behind *unknowingly*
+        # still has the pre-announcement race; the sync announcements
+        # shrink that window to at most one announce interval.)
+        if (
+            self.leader_for(next_height) == peer.node_id
+            and not peer.crashed
+            and not peer.sync.is_lagging()
+        ):
             self._propose(next_height)
-        self._anti_entropy(peer)
         self._schedule_tick()
-
-    def _anti_entropy(self, peer) -> None:
-        """Stall recovery: a peer that is behind *and* is the next
-        leader deadlocks the rotation (it doesn't know it is behind).
-        If the chain hasn't advanced for two ticks while work is
-        pending, probe another validator for missed blocks."""
-        if peer.ledger.height != self._last_seen_height:
-            self._last_seen_height = peer.ledger.height
-            self._stall_ticks = 0
-            return
-        if len(peer.mempool) == 0 or peer.crashed:
-            return
-        self._stall_ticks += 1
-        if self._stall_ticks < 2:
-            return
-        others = [v for v in self.validators if v != peer.node_id]
-        if not others:
-            return
-        target = others[(self._stall_ticks + peer.ledger.height) % len(others)]
-        peer.send(target, _KIND_SYNC_REQUEST, peer.ledger.height + 1)
 
     def _propose(self, height: int) -> None:
         peer = self.peer
@@ -107,30 +106,25 @@ class RoundRobinOrderer(ConsensusEngine):
         peer.broadcast(_KIND_BLOCK, block)
         peer.commit_block(block)  # leader commits its own block immediately
 
+    def verify_synced_block(self, block: Block, proof: Any) -> bool:
+        """Authority is the proof: the proposer must be the rotation's
+        expected leader for that height."""
+        return block.proposer == self.leader_for(block.height)
+
+    def on_restart(self) -> None:
+        if self._tick_event is not None:
+            self._tick_event.cancel()
+            self._tick_event = None
+        self._tick_scheduled = False
+        self.start()
+
     def on_message(self, message: Message) -> bool:
         peer = self.peer
         assert peer is not None
-        if message.kind == _KIND_SYNC_REQUEST:
-            # A lagging peer asked for blocks it missed; replay from our chain.
-            start: int = message.payload
-            for height in range(start, peer.ledger.height + 1):
-                peer.send(message.src, _KIND_BLOCK, peer.ledger.block(height))
-            return True
         if message.kind != _KIND_BLOCK:
             return False
-        block: Block = message.payload
-        expected_leader = self.leader_for(block.height)
-        if block.proposer != expected_leader:
-            return True  # consume but ignore forged leadership claims
-        if block.height > peer.ledger.height + 1:
-            # Missed one or more blocks (e.g. dropped message): buffer this
-            # one and ask the sender to replay the gap.
-            self._future_blocks[block.height] = block
-            peer.send(message.src, _KIND_SYNC_REQUEST, peer.ledger.height + 1)
-            return True
-        if block.height == peer.ledger.height + 1:
-            peer.commit_block(block)
-            # Drain any buffered successors that are now applicable.
-            while peer.ledger.height + 1 in self._future_blocks:
-                peer.commit_block(self._future_blocks.pop(peer.ledger.height + 1))
+        # The SyncManager owns the apply path: it enforces the leader
+        # check (via verify_synced_block), buffers height-ahead blocks,
+        # and fetches any gap from the sender or another live validator.
+        peer.sync.offer_block(message.payload, None, src=message.src)
         return True

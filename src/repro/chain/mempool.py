@@ -45,6 +45,10 @@ class Mempool:
             batch.append(tx)
         return batch
 
+    def snapshot(self) -> list[Transaction]:
+        """The pending transactions, in FIFO order, without removing them."""
+        return list(self._pending.values())
+
     def remove(self, tx_ids: list[str]) -> None:
         """Drop transactions that were committed via someone else's block."""
         for tx_id in tx_ids:

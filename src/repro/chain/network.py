@@ -21,7 +21,7 @@ from typing import Any, Callable, Literal
 
 from repro.chain.consensus import PBFTEngine, RoundRobinOrderer, ShardedExecutor
 from repro.chain.contracts import Contract, ContractRegistry, EndorsementPolicy  # noqa: F401 - re-exported
-from repro.chain.peer import Peer
+from repro.chain.peer import Admission, Peer
 from repro.chain.transaction import Transaction, TxReceipt
 from repro.crypto.keys import KeyPair
 from repro.errors import ChainError, ContractError, EndorsementError
@@ -128,6 +128,7 @@ class BlockchainNetwork:
             self.peers.append(peer)
         for peer in self.peers:
             peer.engine.start()
+            peer.sync.start()
 
     # -- deployment -------------------------------------------------------
 
@@ -190,7 +191,13 @@ class BlockchainNetwork:
             source = max(live, key=lambda p: p.ledger.height)
             for height in range(1, source.ledger.height + 1):
                 peer.commit_block(source.ledger.block(height))
+            # Carry over the source's commit certificates so the new peer
+            # can serve (and later re-verify) the bootstrapped range.
+            source_certs = getattr(source.engine, "commit_certificates", None)
+            if source_certs is not None and hasattr(peer.engine, "commit_certificates"):
+                peer.engine.commit_certificates.update(source_certs)
         peer.engine.start()
+        peer.sync.start()
         for auditor in self.auditors:
             auditor.watch_peer(peer)
         return peer
@@ -246,17 +253,33 @@ class BlockchainNetwork:
             endorsements=tuple(endorsements),
         )
 
-    def submit(self, tx: Transaction) -> None:
-        """Hand an endorsed transaction to a random peer for gossip."""
+    def submit(self, tx: Transaction) -> Admission:
+        """Hand an endorsed transaction to a random peer for gossip.
+
+        Returns the effective :class:`~repro.chain.peer.Admission`.  A
+        ``DUPLICATE``/``COMMITTED`` outcome is success — the transaction
+        is already pending or final — and must *not* trigger the
+        try-every-peer fallback (the seed code did, and could raise for
+        a transaction that was happily in flight).  Only genuine
+        rejections (``FULL``/``CRASHED``/``INVALID``) fall through to the
+        other peers, and only if every peer rejects does this raise.
+        """
         entry = self.rng.choice(self.peers)
-        if not entry.submit(tx):
-            # Entry peer may be crashed/full; try the others once.
-            for peer in self.peers:
-                if peer is not entry and peer.submit(tx):
-                    self._notify_admitted(tx)
-                    return
-            raise ChainError(f"no peer admitted tx {tx.tx_id[:12]}")
-        self._notify_admitted(tx)
+        outcome = entry.submit(tx)
+        if outcome.accepted:
+            self._notify_admitted(tx)
+            return outcome
+        outcomes = {entry.node_id: outcome}
+        for peer in self.peers:
+            if peer is entry:
+                continue
+            outcome = peer.submit(tx)
+            if outcome.accepted:
+                self._notify_admitted(tx)
+                return outcome
+            outcomes[peer.node_id] = outcome
+        detail = ", ".join(f"{node}: {out.value}" for node, out in outcomes.items())
+        raise ChainError(f"no peer admitted tx {tx.tx_id[:12]} ({detail})")
 
     def _notify_admitted(self, tx: Transaction) -> None:
         for auditor in self.auditors:
@@ -294,9 +317,10 @@ class BlockchainNetwork:
         self.sim.run(until=self.sim.now + duration)
 
     def stop(self) -> None:
-        """Stop all consensus engines (lets the event queue drain)."""
+        """Stop consensus engines and sync loops (lets the queue drain)."""
         for peer in self.peers:
             peer.engine.stop()
+            peer.sync.stop()
 
     # -- inspection ---------------------------------------------------------------
 

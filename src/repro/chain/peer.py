@@ -6,13 +6,21 @@ transaction in a decided block is checked for (1) client signature,
 write set applied.  All peers run the same deterministic checks over the
 same block sequence, so their world states stay identical — asserted by
 ``BlockchainNetwork.assert_convergence`` in tests.
+
+Beyond consensus, each peer owns a :class:`~repro.chain.sync.SyncManager`
+that detects when the peer has fallen behind the network head and
+fetches, verifies, and applies the missing blocks — the recovery path
+for crash windows, partitions, and message loss.  :meth:`Peer.restart`
+models a real process restart: volatile state (mempool, open consensus
+rounds, timers) is wiped and the world state is rebuilt from the durable
+ledger via :meth:`~repro.chain.ledger.Ledger.replay_state`.
 """
 
 from __future__ import annotations
 
+import enum
 from dataclasses import dataclass, field
 from typing import Callable
-
 
 from repro.chain.consensus.base import ConsensusEngine
 from repro.chain.consensus.sharded import ShardedExecutor
@@ -22,14 +30,45 @@ from repro.chain.block import Block
 from repro.chain.ledger import Ledger
 from repro.chain.mempool import Mempool
 from repro.chain.state import WorldState
+from repro.chain.sync import SyncManager
 from repro.chain.transaction import Endorsement, Transaction, TxReceipt, rwset_digest
 from repro.crypto.keys import KeyPair
 from repro.errors import EndorsementError, InvalidTransactionError
 from repro.simnet.network import Message, NetworkNode
 
-__all__ = ["Peer", "PeerMetrics"]
+__all__ = ["Admission", "Peer", "PeerMetrics"]
 
 _KIND_TX = "tx-gossip"
+_KIND_SYNC_PREFIX = "sync-"
+
+
+class Admission(enum.Enum):
+    """Outcome of submitting a transaction to one peer.
+
+    The distinction matters for retry logic: a ``DUPLICATE`` or
+    ``COMMITTED`` transaction is *safe* (pending or final somewhere — a
+    gossip echo, not a failure), while ``FULL``, ``CRASHED``, and
+    ``INVALID`` mean this peer genuinely did not take it and another
+    entry point should be tried.  The seed code conflated all of these
+    into one ``False``, so a duplicate submission could walk every peer
+    and then raise for a transaction that was happily pending.
+    """
+
+    ADMITTED = "admitted"    #: entered this peer's mempool just now
+    DUPLICATE = "duplicate"  #: already pending in this peer's mempool
+    COMMITTED = "committed"  #: already committed on this peer's chain
+    FULL = "full"            #: mempool at capacity (back-pressure)
+    INVALID = "invalid"      #: failed structural/signature validation
+    CRASHED = "crashed"      #: peer is down; a real RPC would not connect
+
+    def __bool__(self) -> bool:
+        # Truthiness preserves the seed API: True iff newly admitted.
+        return self is Admission.ADMITTED
+
+    @property
+    def accepted(self) -> bool:
+        """The transaction is pending or final — no retry needed."""
+        return self in (Admission.ADMITTED, Admission.DUPLICATE, Admission.COMMITTED)
 
 
 @dataclass
@@ -44,6 +83,7 @@ class PeerMetrics:
     commit_latency_total: float = 0.0
     commit_latency_count: int = 0
     blocks_committed: int = 0
+    restarts: int = 0
     commit_times: list[float] = field(default_factory=list)
 
     @property
@@ -79,9 +119,13 @@ class Peer(NetworkNode):
         self.sharded_executor = sharded_executor
         self.byzantine = byzantine
         self.metrics = PeerMetrics()
+        self.sync = SyncManager(self)
         #: Called as ``listener(peer, block)`` after every committed
         #: block — the invariant auditor's hook point.
         self.commit_listeners: list[Callable[["Peer", Block], None]] = []
+        #: Called as ``listener(peer, wiped_tx_ids)`` when a crash-restart
+        #: wipes volatile state, so auditors can excuse the injected loss.
+        self.restart_listeners: list[Callable[["Peer", set[str]], None]] = []
         engine.attach(self)
 
     # -- configuration --------------------------------------------------------
@@ -119,19 +163,34 @@ class Peer(NetworkNode):
 
     # -- transaction admission ---------------------------------------------------
 
-    def submit(self, tx: Transaction, gossip: bool = True) -> bool:
-        """Admit an endorsed transaction into the mempool (and gossip it)."""
+    def submit(self, tx: Transaction, gossip: bool = True) -> Admission:
+        """Admit an endorsed transaction into the mempool (and gossip it).
+
+        The returned :class:`Admission` is truthy iff the transaction
+        was newly admitted, so seed-era ``if peer.submit(tx):`` call
+        sites keep their meaning.
+        """
+        if self.crashed:
+            return Admission.CRASHED
         try:
             tx.validate_structure()
         except InvalidTransactionError:
             self.metrics.signature_failures += 1
-            return False
-        admitted = self.mempool.add(tx)
-        if admitted:
-            self.engine.on_transaction_admitted()
-            if gossip:
-                self.broadcast(_KIND_TX, tx)
-        return admitted
+            return Admission.INVALID
+        if tx.tx_id in self.ledger:
+            # Already committed here (a gossip echo arriving after
+            # ``mempool.remove``).  Re-admitting would let the copy land
+            # in a later block, fail MVCC, and clobber the original valid
+            # receipt.
+            return Admission.COMMITTED
+        if tx.tx_id in self.mempool:
+            return Admission.DUPLICATE
+        if not self.mempool.add(tx):
+            return Admission.FULL
+        self.engine.on_transaction_admitted()
+        if gossip:
+            self.broadcast(_KIND_TX, tx)
+        return Admission.ADMITTED
 
     # -- commit path ----------------------------------------------------------------
 
@@ -150,7 +209,12 @@ class Peer(NetworkNode):
                 events=tx.events if verdict else (),
                 error=error,
             )
-            self.receipts[tx.tx_id] = receipt
+            existing = self.receipts.get(tx.tx_id)
+            if existing is None or verdict or not existing.success:
+                # Never downgrade: if a duplicate copy of an already
+                # committed-valid tx lands in a later block, its MVCC
+                # failure there must not overwrite the valid receipt.
+                self.receipts[tx.tx_id] = receipt
             if verdict:
                 self.state.apply_write_set(tx.write_set)
                 valid_txs.append(tx)
@@ -184,10 +248,62 @@ class Peer(NetworkNode):
             return False, "MVCC conflict: stale read set"
         return True, None
 
+    # -- crash recovery -----------------------------------------------------------
+
+    def restart(self) -> set[str]:
+        """Simulate a process restart: durable state survives, the rest dies.
+
+        The ledger (disk) is kept; the world state is rebuilt from it via
+        :meth:`~repro.chain.ledger.Ledger.replay_state` and receipts are
+        re-derived from committed blocks.  The mempool, the engine's open
+        rounds and timers, and the sync manager's in-flight fetches are
+        wiped — exactly what a real crash loses.  Returns the wiped
+        pending tx ids so fault injectors can report (and auditors can
+        excuse) the loss.
+        """
+        wiped: set[str] = {tx.tx_id for tx in self.mempool.snapshot()}
+        pending = getattr(self.engine, "pending_txs", None)
+        if pending is not None:
+            wiped |= pending()
+        wiped = {tx_id for tx_id in wiped if tx_id not in self.ledger}
+        self.crashed = False
+        self.mempool = Mempool()
+        self.state = self.ledger.replay_state()
+        self.receipts = self._rebuild_receipts()
+        self.engine.on_restart()
+        self.sync.on_restart()
+        self.metrics.restarts += 1
+        for listener in self.restart_listeners:
+            listener(self, wiped)
+        return wiped
+
+    def _rebuild_receipts(self) -> dict[str, TxReceipt]:
+        """Receipts are derivable from the chain: validity verdicts and
+        block heights are recorded there (per-tx error strings are not,
+        so rebuilt failure receipts carry a generic marker)."""
+        receipts: dict[str, TxReceipt] = {}
+        for committed in self.ledger.transactions(valid_only=False):
+            tx = committed.transaction
+            existing = receipts.get(tx.tx_id)
+            if existing is not None and existing.success:
+                continue  # same no-downgrade rule as the live commit path
+            receipts[tx.tx_id] = TxReceipt(
+                tx_id=tx.tx_id,
+                block_height=committed.block_height,
+                success=committed.valid,
+                return_value=tx.return_value if committed.valid else None,
+                events=tx.events if committed.valid else (),
+                error=None if committed.valid else "invalid (rebuilt from ledger)",
+            )
+        return receipts
+
     # -- network ------------------------------------------------------------------------
 
     def on_message(self, message: Message) -> None:
         if message.kind == _KIND_TX:
             self.submit(message.payload, gossip=False)
+            return
+        if message.kind.startswith(_KIND_SYNC_PREFIX):
+            self.sync.on_message(message)
             return
         self.engine.on_message(message)

@@ -217,6 +217,11 @@ class ChaosSchedule(FailureSchedule):
         validators down at once) and every fault is undone before
         *duration*, so a settle period after the plan ends must restore
         full liveness — which is exactly what the chaos tests assert.
+
+        Each crash window ends in one of two modes, drawn from the seed:
+        a crash-*pause* (``recover_at`` — in-memory state intact) or a
+        crash-*restart* (``restart_at`` — volatile state wiped, world
+        state replayed from the durable ledger).
         """
         validators = list(validators)
         scenarios = set(scenarios)
@@ -227,7 +232,10 @@ class ChaosSchedule(FailureSchedule):
                 down = self.rng.uniform(0.05, 0.2) * duration
                 down = min(down, 0.95 * duration - cursor)
                 self.crash_at(cursor, victim)
-                self.recover_at(cursor + down, victim)
+                if self.rng.random() < 0.5:
+                    self.restart_at(cursor + down, victim)
+                else:
+                    self.recover_at(cursor + down, victim)
                 cursor += down + self.rng.uniform(0.05, 0.25) * duration
         if "partition" in scenarios:
             start = self.rng.uniform(0.2, 0.5) * duration

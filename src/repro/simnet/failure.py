@@ -38,8 +38,18 @@ class FailureSchedule:
         self.sim.schedule_at(time, lambda: self._crash(node_id, time))
 
     def recover_at(self, time: float, node_id: str) -> None:
-        """Bring a crashed node back (it resumes from its last state)."""
+        """Bring a crashed node back (crash-*pause*: it resumes with all
+        of its in-memory state intact, as if it had merely been frozen)."""
         self.sim.schedule_at(time, lambda: self._recover(node_id, time))
+
+    def restart_at(self, time: float, node_id: str) -> None:
+        """Bring a crashed node back as a crash-*restart*: the node's
+        ``restart()`` hook wipes volatile state (mempool, open consensus
+        rounds, in-flight timers) and rebuilds world state from its
+        durable ledger — modeling a real process restart rather than a
+        pause.  Nodes without a ``restart()`` hook fall back to a plain
+        recover."""
+        self.sim.schedule_at(time, lambda: self._restart(node_id, time))
 
     def partition_at(self, time: float, *groups: set[str]) -> None:
         """Install a partition at *time*."""
@@ -59,6 +69,15 @@ class FailureSchedule:
     def _recover(self, node_id: str, time: float) -> None:
         self.network.node(node_id).crashed = False
         self.log.append(FailureEvent(time=time, action="recover", target=node_id))
+
+    def _restart(self, node_id: str, time: float) -> None:
+        node = self.network.node(node_id)
+        restart = getattr(node, "restart", None)
+        if restart is not None:
+            restart()
+        else:
+            node.crashed = False
+        self.log.append(FailureEvent(time=time, action="restart", target=node_id))
 
     def _partition(self, groups: list[set[str]], time: float) -> None:
         self.network.partition(*groups)

@@ -4,7 +4,8 @@ Each case generates a deterministic fault plan (crashes, partitions,
 latency spikes, rogue vote-flooders) from its seed via
 :class:`~repro.simnet.chaos.ChaosSchedule`, drives client traffic
 through it, and lets :class:`~repro.chain.audit.InvariantAuditor` verify
-agreement, certificate validity, tx durability, and state convergence —
+agreement, certificate validity, tx durability, state convergence, and
+catch-up liveness (every recovered/restarted peer back at the head) —
 incrementally after every commit, and in a full forensic pass at the
 end.
 
@@ -55,7 +56,10 @@ def run_chaos_audited(
         network.run_for(rng.uniform(0.4, duration / n_txs))
     network.run_for(max(0.0, duration - network.sim.now) + settle)
     network.stop()
-    auditor.final_check()
+    # sync_window spans the whole settle: a peer recovered late in the
+    # plan may be re-crashed by the next window before it can catch up,
+    # so per-event latency is only bounded by the final quiet period.
+    auditor.final_check(failures=chaos.log, sync_window=duration + settle)
     return network, auditor, chaos
 
 
@@ -71,6 +75,9 @@ def test_chaos_audit_pbft(seed):
     if chaos.flooders:
         assert sum(f.messages_flooded for f in chaos.flooders) > 0
         assert sum(p.engine.votes_rejected_nonvalidator for p in network.peers) > 0
+    # Every peer that came back (pause or restart) caught up in finite time.
+    for event, latency in auditor.catchup_latencies(chaos.log):
+        assert latency is not None, f"{event.target} never caught up after {event.action}"
 
 
 @pytest.mark.parametrize("seed", [0, 3])

@@ -1,0 +1,233 @@
+"""Deep catch-up and crash-recovery via :mod:`repro.chain.sync`.
+
+The scenarios here are the ones the seed code could not survive:
+
+- a PBFT replica crashed for 20+ blocks — far beyond the engine's
+  ``HEIGHT_WINDOW`` round buffer — must fully catch up after it comes
+  back, under both crash-*pause* (state intact) and crash-*restart*
+  (volatile state wiped, world state replayed from the ledger);
+- the PoA orderer's old anti-entropy only probed when the recovered
+  peer had traffic to propose, so an idle network stalled it forever;
+- sync under message loss must retry with backoff, and a provider that
+  never answers (crashed, or a phantom byzantine height claim) must be
+  failed over, not waited on forever.
+
+"Caught up" is asserted the strong way — every peer at the same height
+with the identical ``state_digest()``, plus the auditor's catch-up
+invariant — not the old min-height prefix check that a permanently
+lagging peer could pass.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chain import BlockchainNetwork, InvariantAuditor
+from repro.simnet import FailureSchedule, UniformLatency
+
+
+def _build(consensus: str, seed: int, drop: float = 0.0) -> tuple[BlockchainNetwork, InvariantAuditor, FailureSchedule]:
+    from tests.conftest import CounterContract
+
+    network = BlockchainNetwork(
+        n_peers=4, consensus=consensus, block_interval=0.5,
+        latency=UniformLatency(0.01, 0.05), seed=seed,
+        view_timeout=4.0, drop_probability=drop,
+    )
+    network.install_contract(CounterContract)
+    auditor = InvariantAuditor(network)
+    schedule = FailureSchedule(network.sim, network.net)
+    return network, auditor, schedule
+
+
+def _drive(network: BlockchainNetwork, n_txs: int, gap: float = 0.8) -> None:
+    client = network.client()
+    for _ in range(n_txs):
+        tx = network.endorse_transaction(client, "counter", "increment", {"amount": 1})
+        network.submit(tx)
+        network.run_for(gap)
+
+
+def _assert_all_caught_up(network: BlockchainNetwork) -> None:
+    heights = {p.node_id: p.ledger.height for p in network.peers}
+    assert len(set(heights.values())) == 1, f"heights diverge: {heights}"
+    digests = {p.node_id: p.state.state_digest() for p in network.peers}
+    assert len(set(digests.values())) == 1, f"state digests diverge: {digests}"
+
+
+@pytest.mark.parametrize("mode", ["pause", "restart"])
+def test_pbft_replica_catches_up_beyond_height_window(mode):
+    """A replica down for 20+ blocks (>> HEIGHT_WINDOW) fully recovers.
+
+    The engine's round buffer only spans HEIGHT_WINDOW=8 heights, so
+    nothing consensus retained can close this gap — only the ranged
+    fetch path can, verifying each block against a stored 2f+1 commit
+    certificate.
+    """
+    network, auditor, schedule = _build("pbft", seed=11)
+    victim = network.peers[3]
+    schedule.crash_at(1.0, victim.node_id)
+    _drive(network, n_txs=26)
+    head = max(p.ledger.height for p in network.peers)
+    assert head - victim.ledger.height >= 20, "scenario failed to open a deep gap"
+    assert head - victim.ledger.height > victim.engine.HEIGHT_WINDOW
+    comeback = network.sim.now + 0.5
+    if mode == "restart":
+        schedule.restart_at(comeback, victim.node_id)
+    else:
+        schedule.recover_at(comeback, victim.node_id)
+    network.run_for(25.0)
+    network.stop()
+
+    _assert_all_caught_up(network)
+    assert victim.sync.metrics.blocks_synced >= 20
+    assert victim.sync.metrics.syncs_completed >= 1
+    if mode == "restart":
+        assert victim.metrics.restarts == 1
+    # The auditor's catch-up invariant (not min-height prefix) signs off.
+    violations = auditor.final_check(failures=schedule.log, sync_window=25.0)
+    assert violations == []
+    latencies = auditor.catchup_latencies(schedule.log)
+    assert latencies, "no recover/restart event was measured"
+    assert all(lat is not None for _, lat in latencies)
+    for peer in network.peers:
+        assert peer.ledger.verify_chain()
+
+
+def test_pbft_synced_blocks_carry_valid_certificates():
+    """Catch-up must not weaken the certificate invariant: the recovered
+    replica stores a 2f+1 certificate for every block it fetched."""
+    network, auditor, schedule = _build("pbft", seed=12)
+    victim = network.peers[2]
+    schedule.crash_at(1.0, victim.node_id)
+    _drive(network, n_txs=24)
+    schedule.recover_at(network.sim.now + 0.5, victim.node_id)
+    network.run_for(20.0)
+    network.stop()
+
+    _assert_all_caught_up(network)
+    for height in range(1, victim.ledger.height + 1):
+        entry = victim.engine.commit_certificates.get(height)
+        assert entry is not None, f"no certificate stored for synced height {height}"
+        digest, certificate = entry
+        assert digest == victim.ledger.block(height).block_hash
+        assert len(set(certificate) & set(victim.engine.validators)) >= victim.engine.quorum
+    assert auditor.final_check(failures=schedule.log, sync_window=20.0) == []
+
+
+def test_poa_idle_network_catchup_regression():
+    """Regression for the PoA anti-entropy stall: the old probe only ran
+    from the proposal path, so a recovered peer on an idle network (empty
+    mempools, nothing left to propose) stayed behind forever.  The sync
+    manager's announcement loop must close the gap with no new traffic.
+
+    The victim is peer-0, whose leadership slots are heights 4, 8, … —
+    rotation stalls at a crashed leader's slot, so the driven heights
+    (1–3, led by peers 1–3) must all fall before the victim's turn.
+    """
+    network, auditor, schedule = _build("poa", seed=13)
+    victim = network.peers[0]
+    schedule.crash_at(0.2, victim.node_id)
+    _drive(network, n_txs=3, gap=1.5)
+    # Let every submitted tx commit and the mempools drain *before* the
+    # victim returns: from here on there is no traffic to piggyback on.
+    network.run_for(5.0)
+    assert all(len(p.mempool) == 0 for p in network.peers if not p.crashed)
+    gap = max(p.ledger.height for p in network.peers) - victim.ledger.height
+    assert gap >= 3
+    schedule.recover_at(network.sim.now + 0.5, victim.node_id)
+    network.run_for(15.0)
+    network.stop()
+
+    _assert_all_caught_up(network)
+    assert victim.sync.metrics.blocks_synced >= gap
+    assert auditor.final_check(failures=schedule.log, sync_window=15.0) == []
+
+
+def test_sync_retries_under_message_loss():
+    """With lossy links the fetch machinery must retry (timeout + backoff)
+    rather than hang on the first dropped request or response.
+
+    The chain is built on clean links (10% loss starves a 3-of-3 PBFT
+    quorum outright), then the loss is switched on for the recovery
+    phase only.  The victim's fetch batch is shrunk to 2 so closing the
+    gap takes many request/response round-trips, each of which the 25%
+    drop rate can kill — guaranteeing the timeout path is exercised.
+    """
+    network, auditor, schedule = _build("pbft", seed=17, drop=0.0)
+    victim = network.peers[3]
+    victim.sync.MAX_BATCH = 2  # instance override; class default is 64
+    schedule.crash_at(1.0, victim.node_id)
+    _drive(network, n_txs=24)
+    gap = max(p.ledger.height for p in network.peers) - victim.ledger.height
+    assert gap >= 20, "scenario failed to open a deep gap"
+    network.net.drop_probability = 0.25
+    schedule.recover_at(network.sim.now + 0.5, victim.node_id)
+    network.run_for(90.0)
+    network.stop()
+
+    metrics = victim.sync.metrics
+    assert metrics.requests_sent >= gap // 2
+    assert metrics.timeouts + metrics.retries > 0, (
+        "25% drop never exercised the retry path — scenario is miscalibrated"
+    )
+    _assert_all_caught_up(network)
+    assert auditor.final_check(failures=schedule.log, sync_window=90.0) == []
+
+
+def test_provider_failover_on_phantom_height():
+    """A provider that never answers — here a crashed peer whose height
+    claim arrived before it died — must be struck off after
+    PROVIDER_PATIENCE timeouts so the node stops chasing the phantom."""
+    network, _, schedule = _build("pbft", seed=19)
+    _drive(network, n_txs=4)
+    network.run_for(3.0)
+    dead = network.peers[2]
+    chaser = network.peers[3]
+    schedule.crash_at(network.sim.now, dead.node_id)
+    network.run_for(0.1)
+    # The dead peer "claimed" a chain far beyond everyone; requests to it
+    # can only time out.
+    chaser.sync.note_remote_height(dead.node_id, 999)
+    assert chaser.sync.is_lagging()
+    network.run_for(20.0)
+    network.stop()
+
+    metrics = chaser.sync.metrics
+    assert metrics.timeouts >= chaser.sync.PROVIDER_PATIENCE
+    assert metrics.provider_failovers >= 1
+    assert dead.node_id not in chaser.sync.known_heights
+    # With the phantom forgotten the chaser is not stuck "lagging".
+    assert not chaser.sync.is_lagging()
+
+
+def test_restart_wipes_volatile_state_and_rebuilds_from_ledger():
+    """Crash-restart semantics: the mempool dies, the ledger survives,
+    world state and receipts are rebuilt bit-identical, and the auditor
+    excuses exactly the wiped pending txs from durability."""
+    network, auditor, _ = _build("pbft", seed=23)
+    _drive(network, n_txs=4)
+    network.run_for(5.0)
+    victim = network.peers[2]  # a replica: submitting here won't propose
+    client = network.client()
+    pending = network.endorse_transaction(client, "counter", "increment", {"amount": 1})
+    assert victim.submit(pending, gossip=False)
+    auditor.track_tx(pending.tx_id)
+    pre_height = victim.ledger.height
+    pre_state = victim.state.state_digest()
+    pre_receipts = {t: (r.block_height, r.success) for t, r in victim.receipts.items()}
+    assert pre_height >= 4 and pre_receipts
+
+    wiped = victim.restart()
+
+    assert pending.tx_id in wiped
+    assert pending.tx_id not in victim.mempool and len(victim.mempool) == 0
+    assert victim.ledger.height == pre_height
+    assert victim.state.state_digest() == pre_state
+    assert {t: (r.block_height, r.success) for t, r in victim.receipts.items()} == pre_receipts
+    assert victim.metrics.restarts == 1
+    assert pending.tx_id in auditor.restart_wiped
+    network.run_for(5.0)
+    network.stop()
+    # Durability passes only because the wiped tx is excused.
+    assert auditor.final_check() == []
