@@ -1,10 +1,15 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test chaos bench recovery
+.PHONY: lint test chaos bench recovery obs-demo
+
+# Byte-compile everything (pyflakes is not vendored; compileall still
+# catches syntax errors across src/tests/benchmarks before the suite runs).
+lint:
+	$(PYTHON) -m compileall -q src tests benchmarks examples
 
 # Tier-1: fast default suite (chaos-marked sweeps excluded via addopts).
-test:
+test: lint
 	$(PYTHON) -m pytest -x -q
 
 # Extended seeded chaos/invariant-audit sweeps (slow, opt-in).
@@ -18,3 +23,8 @@ bench:
 # (writes benchmarks/latest_recovery.json).
 recovery:
 	$(PYTHON) -m pytest tests/chain/test_sync_recovery.py benchmarks/bench_recovery.py -q
+
+# Traced end-to-end demo: runs a small PBFT workload with a crash/restart,
+# writes benchmarks/latest_trace.jsonl, and prints the per-phase report.
+obs-demo:
+	$(PYTHON) -m repro.cli report --demo --trace benchmarks/latest_trace.jsonl

@@ -15,12 +15,16 @@ the sharded executor's speedup on the same blocks).
 
 from __future__ import annotations
 
+import pathlib
+
 from benchmarks.conftest import emit
 from repro.chain import BlockchainNetwork, Contract, contract_method
+from repro.obs import export_jsonl, snapshot_crypto_cache
 from repro.simnet import FixedLatency
 
 N_TXS = 120
 PEER_COUNTS = (4, 8, 16, 32)
+TRACE_PATH = pathlib.Path(__file__).parent / "latest_trace.jsonl"
 
 
 class KVContract(Contract):
@@ -34,7 +38,7 @@ class KVContract(Contract):
         return True
 
 
-def _run_config(n_peers: int, consensus: str):
+def _run_config(n_peers: int, consensus: str, trace: bool = False):
     network = BlockchainNetwork(
         n_peers=n_peers, consensus=consensus, block_interval=0.5,
         latency=FixedLatency(0.05), seed=900 + n_peers,
@@ -57,6 +61,15 @@ def _run_config(n_peers: int, consensus: str):
     latency = peer.metrics.mean_commit_latency
     messages_per_tx = network.net.stats.sent / max(1, committed)
     speedup = peer.sharded_executor.cumulative_speedup if peer.sharded_executor else 1.0
+    if trace:
+        # Durable timeline for `repro-news report`: the full per-phase
+        # latency breakdown of this configuration's run.
+        snapshot_crypto_cache(network.obs)
+        export_jsonl(
+            TRACE_PATH, network.obs, network.tracer,
+            meta={"experiment": "E9", "consensus": consensus,
+                  "n_peers": n_peers, "n_txs": N_TXS, "sim_time": elapsed},
+        )
     return throughput, latency, messages_per_tx, speedup, committed
 
 
@@ -64,7 +77,8 @@ def _sweep():
     results = {}
     for consensus in ("poa", "pbft"):
         for n_peers in PEER_COUNTS:
-            results[(consensus, n_peers)] = _run_config(n_peers, consensus)
+            trace = consensus == "pbft" and n_peers == PEER_COUNTS[0]
+            results[(consensus, n_peers)] = _run_config(n_peers, consensus, trace=trace)
     return results
 
 
@@ -79,7 +93,18 @@ def test_e9_consensus_scalability(benchmark):
         )
     rows.append("shape: PoA messages/tx grow ~linearly, PBFT ~quadratically in peers; "
                 "sharded execution recovers a ~constant-factor speedup (A3)")
-    emit(benchmark, "E9 — consensus scalability sweep (4-shard parallel execution)", rows)
+    metrics = {
+        f"{consensus}_{n_peers}": {
+            "throughput_tx_per_s": throughput, "mean_latency_s": latency,
+            "messages_per_tx": messages, "shard_speedup": speedup,
+            "committed": committed,
+        }
+        for (consensus, n_peers), (throughput, latency, messages, speedup, committed)
+        in results.items()
+    }
+    metrics["trace_path"] = str(TRACE_PATH)
+    emit(benchmark, "E9 — consensus scalability sweep (4-shard parallel execution)",
+         rows, metrics=metrics)
     # PBFT must cost more messages than PoA at every size, growing faster.
     for n_peers in PEER_COUNTS:
         assert results[("pbft", n_peers)][2] > results[("poa", n_peers)][2]

@@ -9,11 +9,15 @@ statistics (unlike the one-shot experiment benches).
 from __future__ import annotations
 
 import random
+import time
 
+from benchmarks.conftest import emit
 from repro.chain import LocalChain
+from repro.chain.state import WorldState
 from repro.core import ProvenanceIndex
 from repro.corpus import CorpusGenerator
 from repro.crypto import KeyPair
+from repro.obs import MetricsRegistry
 from tests.conftest import CounterContract
 
 
@@ -62,3 +66,51 @@ def test_micro_provenance_query(benchmark):
 def test_micro_corpus_article(benchmark):
     gen = CorpusGenerator(seed=5)
     benchmark(gen.factual)
+
+
+def test_micro_prefix_scan(benchmark):
+    """Regression guard for the sorted-key prefix index.
+
+    The seed implementation sorted every key on every scan —
+    O(n log n) per query.  The index answers in O(log n + k); this
+    measures both on the same 20k-key state and records the
+    distributions in an obs registry so the speedup is part of the
+    perf record, not just an eyeballed number.
+    """
+    state = WorldState()
+    state.apply_write_set(
+        {f"bucket{i % 40}/item-{i:06d}": {"i": i} for i in range(20_000)}
+    )
+    prefix = "bucket7/"
+
+    def indexed_scan():
+        return list(state.keys_with_prefix(prefix))
+
+    def seed_scan():  # what keys_with_prefix did before the index
+        return sorted(k for k in state._store if k.startswith(prefix))
+
+    assert indexed_scan() == seed_scan()
+
+    registry = MetricsRegistry()
+    for name, scan in (("indexed", indexed_scan), ("full_sort", seed_scan)):
+        hist = registry.histogram("micro.prefix_scan_us", impl=name)
+        for _ in range(50):
+            start = time.perf_counter()
+            scan()
+            hist.observe((time.perf_counter() - start) * 1e6)
+
+    indexed = registry.histogram("micro.prefix_scan_us", impl="indexed").summary()
+    full = registry.histogram("micro.prefix_scan_us", impl="full_sort").summary()
+    speedup = full["p50"] / max(indexed["p50"], 1e-9)
+    emit(
+        None,
+        "micro — prefix-scan index vs full-sort scan (20k keys)",
+        [f"{'impl':<10} {'p50(us)':>9} {'p95(us)':>9}",
+         f"{'indexed':<10} {indexed['p50']:>9.1f} {indexed['p95']:>9.1f}",
+         f"{'full_sort':<10} {full['p50']:>9.1f} {full['p95']:>9.1f}",
+         f"speedup (p50): {speedup:.1f}x"],
+        metrics={"indexed_p50_us": indexed["p50"], "full_sort_p50_us": full["p50"],
+                 "speedup_p50": speedup},
+    )
+    assert speedup > 2  # the index must beat re-sorting decisively
+    benchmark(indexed_scan)

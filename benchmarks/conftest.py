@@ -11,34 +11,50 @@ carries them; EXPERIMENTS.md records the reference run.
 from __future__ import annotations
 
 import pathlib
+import time
 
 import pytest
 
 from repro.corpus import CorpusGenerator
 from repro.ml import FakeNewsScorer
+from repro.obs import append_perf_record
 
 RESULTS_PATH = pathlib.Path(__file__).parent / "latest_results.txt"
+OBS_PATH = pathlib.Path(__file__).parent / "latest_obs.json"
 _session_started = False
 
 
-def emit(benchmark, title: str, rows: list[str]) -> None:
+def emit(benchmark, title: str, rows: list[str], metrics: dict | None = None) -> None:
     """Record an experiment's result table.
 
     Printed to stdout (visible with ``-s``), attached to the benchmark
-    JSON via ``extra_info``, and appended to ``benchmarks/
+    JSON via ``extra_info``, appended to ``benchmarks/
     latest_results.txt`` (truncated once per session) so the tables
-    survive pytest's output capture.
+    survive pytest's output capture, and mirrored as a structured perf
+    record into ``benchmarks/latest_obs.json`` — pass *metrics* to attach
+    machine-readable numbers beyond the human-readable rows.
     """
     global _session_started
-    mode = "a" if _session_started else "w"
+    first = not _session_started
+    mode = "w" if first else "a"
     _session_started = True
     lines = [f"== {title} =="] + [f"  {row}" for row in rows] + [""]
     print("\n" + "\n".join(lines))
     with RESULTS_PATH.open(mode, encoding="utf-8") as handle:
         handle.write("\n".join(lines) + "\n")
+    record: dict = {
+        "experiment": title,
+        "rows": rows,
+        "unix_time": time.time(),
+    }
+    if metrics:
+        record["metrics"] = metrics
+    append_perf_record(OBS_PATH, record, reset=first)
     if benchmark is not None:
         benchmark.extra_info["experiment"] = title
         benchmark.extra_info["rows"] = rows
+        if metrics:
+            benchmark.extra_info["obs_metrics"] = metrics
 
 
 @pytest.fixture(scope="session")

@@ -45,6 +45,7 @@ from typing import TYPE_CHECKING, Any
 
 from repro.chain.block import Block
 from repro.errors import ChainError
+from repro.obs import MetricsRegistry, metric_attr
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.chain.network import BlockchainNetwork
@@ -96,12 +97,18 @@ class InvariantAuditor:
     so chaos benchmarks can count rather than abort.
     """
 
+    #: Audit counters live in the network's shared metrics registry so
+    #: the exporters report them alongside peer/sync/consensus numbers;
+    #: the attribute API is unchanged (see :class:`repro.obs.views.metric_attr`).
+    blocks_audited = metric_attr("audit.blocks_audited")
+    checks_run = metric_attr("audit.checks_run")
+
     def __init__(self, network: "BlockchainNetwork", strict: bool = True):
         self.network = network
         self.strict = strict
+        self._obs = getattr(network, "obs", None) or MetricsRegistry()
+        self._counter_cache: dict[str, Any] = {}
         self.violations: list[AuditViolation] = []
-        self.blocks_audited = 0
-        self.checks_run = 0
         #: tx_id -> simulated admission time, for the durability check.
         self.tracked_txs: dict[str, float] = {}
         #: pending tx ids wiped by injected crash-restarts — excused from
@@ -116,6 +123,15 @@ class InvariantAuditor:
         network.auditors.append(self)
         for peer in network.peers:
             self.watch_peer(peer)
+
+    def _obs_counter(self, metric: str) -> Any:
+        """Resolve (and cache) a registry counter — the protocol
+        :class:`repro.obs.views.metric_attr` descriptors require."""
+        counter = self._counter_cache.get(metric)
+        if counter is None:
+            counter = self._obs.counter(metric)
+            self._counter_cache[metric] = counter
+        return counter
 
     # -- hook registration -------------------------------------------------
 
@@ -522,6 +538,7 @@ class InvariantAuditor:
             invariant, detail, height=height, peers=peers, forensics=forensics
         )
         self.violations.append(violation)
+        self._obs.counter("audit.violations", invariant=invariant).inc()
         if self.strict:
             raise violation
 

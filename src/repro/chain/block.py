@@ -42,9 +42,10 @@ class Block:
         transactions: list[Transaction],
     ) -> "Block":
         txs = tuple(transactions)
-        merkle_root = MerkleTree.root_of([tx.tx_id for tx in txs])
+        tree = MerkleTree([tx.tx_id for tx in txs])
+        merkle_root = tree.root
         header_hash = cls._header_hash(height, prev_hash, merkle_root, timestamp, proposer)
-        return cls(
+        block = cls(
             height=height,
             prev_hash=prev_hash,
             merkle_root=merkle_root,
@@ -53,6 +54,9 @@ class Block:
             transactions=txs,
             block_hash=header_hash,
         )
+        # Seed the proof cache with the tree just built (see _merkle_tree).
+        object.__setattr__(block, "_merkle_cache", tree)
+        return block
 
     @staticmethod
     def _header_hash(
@@ -68,9 +72,23 @@ class Block:
             }
         )
 
+    def _merkle_tree(self) -> MerkleTree:
+        """The block's Merkle tree, built once and cached.
+
+        Blocks are immutable (frozen dataclass over a tuple of frozen
+        transactions), so the cache never needs invalidation; before it
+        existed every inclusion proof rebuilt the full tree, making an
+        explorer serving p proofs over an n-tx block pay O(p·n) hashing.
+        """
+        tree = getattr(self, "_merkle_cache", None)
+        if tree is None:
+            tree = MerkleTree([tx.tx_id for tx in self.transactions])
+            object.__setattr__(self, "_merkle_cache", tree)
+        return tree
+
     def verify_structure(self) -> None:
         """Check internal consistency (root, hash); raise on tampering."""
-        expected_root = MerkleTree.root_of([tx.tx_id for tx in self.transactions])
+        expected_root = self._merkle_tree().root
         if expected_root != self.merkle_root:
             raise InvalidBlockError(f"block {self.height}: Merkle root mismatch")
         expected_hash = self._header_hash(
@@ -86,7 +104,7 @@ class Block:
             index = tx_ids.index(tx_id)
         except ValueError:
             raise InvalidBlockError(f"tx {tx_id[:12]} not in block {self.height}") from None
-        return MerkleTree(tx_ids).prove(index)
+        return self._merkle_tree().prove(index)
 
     def __len__(self) -> int:
         return len(self.transactions)

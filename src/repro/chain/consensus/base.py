@@ -33,6 +33,21 @@ class ConsensusEngine(ABC):
         """Bind the engine to its peer (called by the peer itself)."""
         self.peer = peer
 
+    # -- observability (see repro.obs) -------------------------------------
+
+    def _observe_order_wait(self, batch: "list[Any]") -> None:
+        """Record the ordering wait — mempool admission to proposal — for
+        every transaction taken into a block.  This is the "order" phase
+        of the traced lifecycle; both engines call it from their
+        proposal path."""
+        peer = self.peer
+        if peer is None or not batch:
+            return
+        hist = peer.obs.histogram("phase.order_wait", peer=peer.node_id)
+        now = peer.sim.now
+        for tx in batch:
+            hist.observe(max(0.0, now - tx.timestamp))
+
     @abstractmethod
     def start(self) -> None:
         """Begin participating (schedule timers, etc.)."""

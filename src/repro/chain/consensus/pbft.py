@@ -75,6 +75,9 @@ class _Round:
     commits: set[str] = field(default_factory=set)
     sent_prepare: bool = False
     sent_commit: bool = False
+    #: Sim time this replica first saw the pre-prepare, for the
+    #: ``pbft.round`` duration histogram.
+    started_at: float | None = None
 
 
 class PBFTEngine(ConsensusEngine):
@@ -150,6 +153,13 @@ class PBFTEngine(ConsensusEngine):
         """Is *src* allowed to vote?  Quorums count validators only."""
         return src in self._validator_set
 
+    def _reject_nonvalidator(self) -> None:
+        self.votes_rejected_nonvalidator += 1
+        if self.peer is not None:
+            self.peer.obs.counter(
+                "pbft.votes_rejected_nonvalidator", peer=self.peer.node_id
+            ).inc()
+
     def _is_validator(self) -> bool:
         """Does *this* replica vote?  Observer peers follow, silently."""
         assert self.peer is not None
@@ -207,6 +217,7 @@ class PBFTEngine(ConsensusEngine):
         batch = peer.mempool.take(self.max_block_txs)
         if not batch:
             return
+        self._observe_order_wait(batch)
         if getattr(peer, "byzantine", False):
             self._propose_equivocating(height, batch)
             return
@@ -252,6 +263,8 @@ class PBFTEngine(ConsensusEngine):
             return  # primary equivocated to us; keep the first
         state.digest = block.block_hash
         state.block = block
+        if state.started_at is None:
+            state.started_at = peer.sim.now
         if not state.sent_prepare and self._is_validator():
             state.sent_prepare = True
             state.prepares.add(peer.node_id)
@@ -263,7 +276,7 @@ class PBFTEngine(ConsensusEngine):
     def _on_prepare(self, view: int, height: int, digest: str, src: str) -> None:
         assert self.peer is not None
         if not self._member(src):
-            self.votes_rejected_nonvalidator += 1
+            self._reject_nonvalidator()
             return  # only validators vote toward quorums
         if height > self.peer.ledger.height + 1:
             # A validator voting at a height we cannot reach implies a
@@ -280,7 +293,7 @@ class PBFTEngine(ConsensusEngine):
     def _on_commit(self, view: int, height: int, digest: str, src: str) -> None:
         assert self.peer is not None
         if not self._member(src):
-            self.votes_rejected_nonvalidator += 1
+            self._reject_nonvalidator()
             return  # only validators vote toward quorums
         if height > self.peer.ledger.height + 1:
             self.peer.sync.note_remote_height(src, height - 1)
@@ -314,6 +327,11 @@ class PBFTEngine(ConsensusEngine):
         ):
             block = state.block
             certificate = sorted(state.commits)
+            if state.started_at is not None:
+                # Local pre-prepare → quorum-commit duration for this round.
+                peer.obs.histogram("pbft.round", peer=peer.node_id).observe(
+                    peer.sim.now - state.started_at
+                )
             self._record_certificate(height, state.digest, certificate)
             self._cleanup_height(height)
             peer.commit_block(block)
@@ -385,7 +403,7 @@ class PBFTEngine(ConsensusEngine):
 
     def _vote_view_change(self, new_view: int, src: str) -> None:
         if not self._member(src):
-            self.votes_rejected_nonvalidator += 1
+            self._reject_nonvalidator()
             return  # only validators can depose a primary
         if not self.view < new_view <= self.view + self.VIEW_WINDOW:
             return  # stale, or unreachably far ahead (bounds _view_votes)
@@ -394,6 +412,8 @@ class PBFTEngine(ConsensusEngine):
         if len(votes) >= self.quorum:
             self.view = new_view
             self.view_changes_completed += 1
+            if self.peer is not None:
+                self.peer.obs.counter("pbft.view_changes", peer=self.peer.node_id).inc()
             for key in [k for k in self._rounds if k[0] < new_view]:
                 self._requeue_stale_round(self._rounds.pop(key))
             self._view_votes = {v: s for v, s in self._view_votes.items() if v > new_view}

@@ -87,6 +87,8 @@ class RoundRobinOrderer(ConsensusEngine):
             and not peer.crashed
             and not peer.sync.is_lagging()
         ):
+            # Rotation reached this validator: its turn to order a block.
+            peer.obs.counter("poa.leader_turns", peer=peer.node_id).inc()
             self._propose(next_height)
         self._schedule_tick()
 
@@ -96,6 +98,8 @@ class RoundRobinOrderer(ConsensusEngine):
         batch = peer.mempool.take(self.max_block_txs)
         if not batch:
             return
+        self._observe_order_wait(batch)
+        peer.obs.counter("poa.blocks_proposed", peer=peer.node_id).inc()
         block = Block.build(
             height=height,
             prev_hash=peer.ledger.head.block_hash,

@@ -25,6 +25,7 @@ from repro.chain.peer import Admission, Peer
 from repro.chain.transaction import Transaction, TxReceipt
 from repro.crypto.keys import KeyPair
 from repro.errors import ChainError, ContractError, EndorsementError
+from repro.obs import MetricsRegistry, Tracer
 from repro.simnet import LatencyModel, Network, Simulator
 
 __all__ = ["BlockchainNetwork", "ChainClient"]
@@ -87,7 +88,15 @@ class BlockchainNetwork:
         if consensus == "pbft" and n_peers < 4:
             raise ChainError("PBFT requires at least 4 peers")
         self.sim = Simulator()
-        self.net = Network(self.sim, latency=latency, seed=seed, drop_probability=drop_probability)
+        #: One shared metrics registry + tracer per network: every peer,
+        #: sync manager, consensus engine, and auditor feeds it, so one
+        #: export (see :mod:`repro.obs.export`) covers the whole run.
+        self.obs = MetricsRegistry()
+        self.tracer = Tracer(clock=lambda: self.sim.now, registry=self.obs)
+        self.net = Network(
+            self.sim, latency=latency, seed=seed,
+            drop_probability=drop_probability, obs=self.obs,
+        )
         self.rng = random.Random(seed + 1)
         self.consensus = consensus
         self.peers: list[Peer] = []
@@ -123,6 +132,8 @@ class BlockchainNetwork:
                 engine=engine,
                 sharded_executor=executor,
                 byzantine=peer_id in byzantine_peers,
+                obs=self.obs,
+                tracer=self.tracer,
             )
             self.net.add_node(peer)
             self.peers.append(peer)
@@ -177,6 +188,8 @@ class BlockchainNetwork:
             keypair=KeyPair.generate(self.rng),
             registry=registry,
             engine=engine,
+            obs=self.obs,
+            tracer=self.tracer,
         )
         for factory, policy in self._contract_factories:
             contract = factory()
@@ -224,20 +237,33 @@ class BlockchainNetwork:
         endorsements = []
         reference = None
         failure: str | None = None
-        for peer in self.peers:
-            outcome = peer.endorse(tx)
-            if outcome is None:
-                continue
-            endorsement, result = outcome
-            if not result.success:
-                failure = result.error
-                continue
-            if reference is None:
-                reference = result
-            if endorsement.digest == rw_digest(reference):
-                endorsements.append(endorsement)
-            if len(endorsements) >= policy.required:
-                break
+        # Endorsement is a synchronous RPC outside the simulated network,
+        # so the span's sim-time duration is 0 by construction; the wall_ms
+        # attribute is the meaningful cost, and phase.endorse records it
+        # in seconds so the report can show an endorse row per lifecycle.
+        span = self.tracer.start(
+            "endorse", tx_id=tx.tx_id[:12], contract=contract, method=method
+        )
+        try:
+            for peer in self.peers:
+                outcome = peer.endorse(tx)
+                if outcome is None:
+                    continue
+                endorsement, result = outcome
+                if not result.success:
+                    failure = result.error
+                    continue
+                if reference is None:
+                    reference = result
+                if endorsement.digest == rw_digest(reference):
+                    endorsements.append(endorsement)
+                if len(endorsements) >= policy.required:
+                    break
+        finally:
+            self.tracer.finish(span, n_endorsements=len(endorsements))
+            self.obs.histogram("phase.endorse").observe(
+                span.attrs.get("wall_ms", 0.0) / 1000.0
+            )
         if reference is None:
             raise ContractError(failure or f"no peer could endorse {contract}.{method}")
         if len(endorsements) < policy.required:

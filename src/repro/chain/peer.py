@@ -19,7 +19,6 @@ ledger via :meth:`~repro.chain.ledger.Ledger.replay_state`.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.chain.consensus.base import ConsensusEngine
@@ -34,6 +33,7 @@ from repro.chain.sync import SyncManager
 from repro.chain.transaction import Endorsement, Transaction, TxReceipt, rwset_digest
 from repro.crypto.keys import KeyPair
 from repro.errors import EndorsementError, InvalidTransactionError
+from repro.obs import MetricsRegistry, ObsView, Tracer, metric_attr
 from repro.simnet.network import Message, NetworkNode
 
 __all__ = ["Admission", "Peer", "PeerMetrics"]
@@ -71,20 +71,46 @@ class Admission(enum.Enum):
         return self in (Admission.ADMITTED, Admission.DUPLICATE, Admission.COMMITTED)
 
 
-@dataclass
-class PeerMetrics:
-    """Per-peer counters the experiments read."""
+class PeerMetrics(ObsView):
+    """Per-peer counters the experiments read.
 
-    txs_committed_valid: int = 0
-    txs_committed_invalid: int = 0
-    mvcc_conflicts: int = 0
-    endorsement_failures: int = 0
-    signature_failures: int = 0
-    commit_latency_total: float = 0.0
-    commit_latency_count: int = 0
-    blocks_committed: int = 0
-    restarts: int = 0
-    commit_times: list[float] = field(default_factory=list)
+    The seed-era attribute API (``metrics.txs_committed_valid += 1``) is
+    preserved, but every value now lives in a shared
+    :class:`~repro.obs.registry.MetricsRegistry` under a
+    ``peer=<node_id>`` label, so the exporters and ``repro-news report``
+    see the same numbers the experiments do.  ``commit_times`` — an
+    unbounded list in the seed, a leak on long chaos runs — is now a
+    bounded reservoir (:class:`~repro.obs.registry.Histogram`).
+    """
+
+    txs_committed_valid = metric_attr("peer.txs_committed_valid")
+    txs_committed_invalid = metric_attr("peer.txs_committed_invalid")
+    mvcc_conflicts = metric_attr("peer.mvcc_conflicts")
+    endorsement_failures = metric_attr("peer.endorsement_failures")
+    signature_failures = metric_attr("peer.signature_failures")
+    commit_latency_total = metric_attr("peer.commit_latency_total")
+    commit_latency_count = metric_attr("peer.commit_latency_count")
+    blocks_committed = metric_attr("peer.blocks_committed")
+    restarts = metric_attr("peer.restarts")
+
+    def __init__(self, registry: MetricsRegistry | None = None, peer: str = ""):
+        super().__init__(registry, peer=peer)
+        self._commit_times = self.registry.histogram("peer.commit_time", **self.labels)
+        self._commit_latency = self.registry.histogram("phase.commit_latency", **self.labels)
+
+    @property
+    def commit_times(self) -> list[float]:
+        """Bounded sample of block-commit timestamps (observation order)."""
+        return self._commit_times.values
+
+    def record_block_commit(self, now: float) -> None:
+        self.blocks_committed += 1
+        self._commit_times.observe(now)
+
+    def record_tx_commit_latency(self, latency: float) -> None:
+        self.commit_latency_total += latency
+        self.commit_latency_count += 1
+        self._commit_latency.observe(latency)
 
     @property
     def mean_commit_latency(self) -> float:
@@ -105,6 +131,8 @@ class Peer(NetworkNode):
         default_policy: EndorsementPolicy | None = None,
         sharded_executor: ShardedExecutor | None = None,
         byzantine: bool = False,
+        obs: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
     ):
         super().__init__(node_id)
         self.keypair = keypair
@@ -118,7 +146,17 @@ class Peer(NetworkNode):
         self.default_policy = default_policy or EndorsementPolicy(required=1)
         self.sharded_executor = sharded_executor
         self.byzantine = byzantine
-        self.metrics = PeerMetrics()
+        #: Shared (network-wide) metrics registry; private when the peer
+        #: is constructed standalone, as unit tests do.
+        self.obs = obs if obs is not None else MetricsRegistry()
+        #: Lifecycle tracer; defaults to one on this peer's clock.  The
+        #: sim clock is only reachable once the peer joins a network, so
+        #: the fallback clock reads it lazily (0.0 before attachment).
+        self.tracer = tracer if tracer is not None else Tracer(
+            clock=lambda: self.network.sim.now if self.network is not None else 0.0,
+            registry=self.obs,
+        )
+        self.metrics = PeerMetrics(registry=self.obs, peer=node_id)
         self.sync = SyncManager(self)
         #: Called as ``listener(peer, block)`` after every committed
         #: block — the invariant auditor's hook point.
@@ -187,6 +225,13 @@ class Peer(NetworkNode):
             return Admission.DUPLICATE
         if not self.mempool.add(tx):
             return Admission.FULL
+        if self.network is not None:
+            # Submit/gossip phase: creation → admission into *this*
+            # mempool.  ~0 at the entry peer (endorsement is synchronous),
+            # one network hop at gossip recipients.
+            self.obs.histogram("phase.gossip", peer=self.node_id).observe(
+                max(0.0, self.sim.now - tx.timestamp)
+            )
         self.engine.on_transaction_admitted()
         if gossip:
             self.broadcast(_KIND_TX, tx)
@@ -196,6 +241,14 @@ class Peer(NetworkNode):
 
     def commit_block(self, block: Block) -> None:
         """Validate and apply a decided block (the Fabric validate phase)."""
+        span = self.tracer.start(
+            "commit", peer=self.node_id, height=block.height, n_txs=len(block)
+        )
+        # Consensus + propagation cost for this peer: proposal timestamp
+        # to local commit (0 for a PoA leader committing its own block).
+        self.obs.histogram("phase.consensus_round", peer=self.node_id).observe(
+            max(0.0, self.sim.now - block.timestamp)
+        )
         validity: list[bool] = []
         valid_txs: list[Transaction] = []
         for tx in block.transactions:
@@ -219,18 +272,17 @@ class Peer(NetworkNode):
                 self.state.apply_write_set(tx.write_set)
                 valid_txs.append(tx)
                 self.metrics.txs_committed_valid += 1
-                self.metrics.commit_latency_total += self.sim.now - tx.timestamp
-                self.metrics.commit_latency_count += 1
+                self.metrics.record_tx_commit_latency(self.sim.now - tx.timestamp)
             else:
                 self.metrics.txs_committed_invalid += 1
         self.ledger.append(block, validity)
         self.mempool.remove([tx.tx_id for tx in block.transactions])
-        self.metrics.blocks_committed += 1
-        self.metrics.commit_times.append(self.sim.now)
+        self.metrics.record_block_commit(self.sim.now)
         if self.sharded_executor is not None and valid_txs:
             self.sharded_executor.plan_block(valid_txs)
         for listener in self.commit_listeners:
             listener(self, block)
+        self.tracer.finish(span, valid=len(valid_txs), invalid=len(block) - len(valid_txs))
 
     def _validate_transaction(self, tx: Transaction) -> tuple[bool, str | None]:
         try:

@@ -12,6 +12,7 @@ to reduce cross-shard conflicts).
 from __future__ import annotations
 
 import copy
+from bisect import bisect_left, insort
 from dataclasses import dataclass
 from typing import Any, Iterator
 
@@ -20,6 +21,19 @@ from repro.chain.transaction import ReadSet, WriteSet
 __all__ = ["WorldState", "StateSnapshot", "VersionedValue"]
 
 _ABSENT_VERSION = -1  # version reported for keys that do not exist
+
+#: Immutable JSON-scalar types that are safe to hand out and take in
+#: without a defensive deep copy (bool before int is irrelevant — both
+#: are immutable).  Containers still get copied: a caller mutating a
+#: returned list/dict must never reach committed state.
+_SCALARS = (str, int, float, bool, type(None))
+
+
+def _isolate(value: Any) -> Any:
+    """Deep-copy *value* unless it is an immutable JSON scalar."""
+    if isinstance(value, _SCALARS):
+        return value
+    return copy.deepcopy(value)
 
 
 @dataclass
@@ -33,13 +47,17 @@ class WorldState:
 
     def __init__(self) -> None:
         self._store: dict[str, VersionedValue] = {}
+        #: Sorted view of the store's keys, maintained incrementally so
+        #: prefix scans are O(log n + k) instead of re-sorting the whole
+        #: store per scan.
+        self._sorted_keys: list[str] = []
         self._commit_seq = 0
 
     # -- reads ------------------------------------------------------------
 
     def get(self, key: str) -> Any:
         entry = self._store.get(key)
-        return copy.deepcopy(entry.value) if entry is not None else None
+        return _isolate(entry.value) if entry is not None else None
 
     def version(self, key: str) -> int:
         entry = self._store.get(key)
@@ -52,10 +70,19 @@ class WorldState:
         return len(self._store)
 
     def keys_with_prefix(self, prefix: str) -> Iterator[str]:
-        """Range scan by key prefix (contracts use composite keys)."""
-        for key in sorted(self._store):
-            if key.startswith(prefix):
-                yield key
+        """Range scan by key prefix (contracts use composite keys).
+
+        Served from the maintained sorted index: bisect to the first
+        candidate, then walk while the prefix holds.
+        """
+        index = self._sorted_keys
+        pos = bisect_left(index, prefix)
+        while pos < len(index):
+            key = index[pos]
+            if not key.startswith(prefix):
+                break
+            yield key
+            pos += 1
 
     # -- commit path -------------------------------------------------------
 
@@ -68,9 +95,14 @@ class WorldState:
         self._commit_seq += 1
         for key, value in write_set.items():
             if value is None:
-                self._store.pop(key, None)
+                if self._store.pop(key, None) is not None:
+                    pos = bisect_left(self._sorted_keys, key)
+                    if pos < len(self._sorted_keys) and self._sorted_keys[pos] == key:
+                        del self._sorted_keys[pos]
             else:
-                self._store[key] = VersionedValue(value=copy.deepcopy(value), version=self._commit_seq)
+                if key not in self._store:
+                    insort(self._sorted_keys, key)
+                self._store[key] = VersionedValue(value=_isolate(value), version=self._commit_seq)
         return self._commit_seq
 
     def snapshot(self) -> "StateSnapshot":
@@ -109,14 +141,14 @@ class StateSnapshot:
     def get(self, key: str) -> Any:
         if key in self.write_buffer:
             value = self.write_buffer[key]
-            return copy.deepcopy(value) if value is not None else None
+            return _isolate(value) if value is not None else None
         self.read_set.setdefault(key, self._base.version(key))
         return self._base.get(key)
 
     def put(self, key: str, value: Any) -> None:
         if value is None:
             raise ValueError("use delete() to remove a key; None is the deletion marker")
-        self.write_buffer[key] = copy.deepcopy(value)
+        self.write_buffer[key] = _isolate(value)
 
     def delete(self, key: str) -> None:
         self.write_buffer[key] = None

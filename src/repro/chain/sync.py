@@ -44,11 +44,13 @@ function of their seed.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any
 
 from repro.chain.block import Block
 from repro.crypto.keys import verify_signature
+from repro.obs import MetricsRegistry, ObsView, metric_attr
+from repro.obs.trace import Span
 from repro.simnet.events import Event
 from repro.simnet.network import Message
 
@@ -67,27 +69,43 @@ def _announce_message(node_id: str, height: int, head_hash: str) -> bytes:
     return f"sync-announce|{node_id}|{height}|{head_hash}".encode()
 
 
-@dataclass
-class SyncMetrics:
-    """Counters the recovery benchmarks and chaos tests read."""
+class SyncMetrics(ObsView):
+    """Counters the recovery benchmarks and chaos tests read.
 
-    announcements_sent: int = 0
-    announcements_verified: int = 0
-    announcements_rejected: int = 0
-    requests_sent: int = 0
-    responses_served: int = 0
-    retries: int = 0
-    timeouts: int = 0
-    provider_failovers: int = 0
-    stale_responses: int = 0
-    blocks_synced: int = 0
-    invalid_blocks: int = 0
-    buffered_future: int = 0
-    syncs_completed: int = 0
-    lag_time_total: float = 0.0
-    max_lag_blocks: int = 0
-    #: (lag_blocks, seconds) per completed catch-up, for latency tables.
-    sync_durations: list[tuple[int, float]] = field(default_factory=list)
+    Attribute API unchanged from the seed dataclass; values live in the
+    peer's shared :class:`~repro.obs.registry.MetricsRegistry` under a
+    ``peer=<node_id>`` label (see :class:`repro.obs.views.ObsView`).
+    """
+
+    announcements_sent = metric_attr("sync.announcements_sent")
+    announcements_verified = metric_attr("sync.announcements_verified")
+    announcements_rejected = metric_attr("sync.announcements_rejected")
+    requests_sent = metric_attr("sync.requests_sent")
+    responses_served = metric_attr("sync.responses_served")
+    retries = metric_attr("sync.retries")
+    timeouts = metric_attr("sync.timeouts")
+    provider_failovers = metric_attr("sync.provider_failovers")
+    stale_responses = metric_attr("sync.stale_responses")
+    blocks_synced = metric_attr("sync.blocks_synced")
+    invalid_blocks = metric_attr("sync.invalid_blocks")
+    buffered_future = metric_attr("sync.buffered_future")
+    syncs_completed = metric_attr("sync.syncs_completed")
+    lag_time_total = metric_attr("sync.lag_time_total")
+    max_lag_blocks = metric_attr("sync.max_lag_blocks")
+
+    def __init__(self, registry: MetricsRegistry | None = None, peer: str = ""):
+        super().__init__(registry, peer=peer)
+        #: (lag_blocks, seconds) per completed catch-up, for latency
+        #: tables; the same durations also feed the ``phase.sync_fetch``
+        #: histogram for the percentile report.
+        self.sync_durations: list[tuple[int, float]] = []
+        self._catchup = self.registry.histogram("phase.sync_fetch", **self.labels)
+
+    def record_catchup(self, lag_blocks: int, duration: float) -> None:
+        self.syncs_completed += 1
+        self.lag_time_total += duration
+        self.sync_durations.append((lag_blocks, duration))
+        self._catchup.observe(duration)
 
 
 @dataclass
@@ -99,6 +117,7 @@ class _InFlight:
     start: int
     end: int
     timer: Event
+    span: Span | None = None
 
 
 class SyncManager:
@@ -128,7 +147,7 @@ class SyncManager:
         self.backoff_factor = backoff_factor
         self.backoff_cap = backoff_cap
         self.jitter = jitter
-        self.metrics = SyncMetrics()
+        self.metrics = SyncMetrics(registry=peer.obs, peer=peer.node_id)
         self.rng = random.Random(f"sync:{peer.node_id}")
         self.stopped = False
         #: node id -> highest height it has credibly claimed to hold.
@@ -179,6 +198,8 @@ class SyncManager:
     def _cancel_inflight(self) -> None:
         if self._inflight is not None:
             self._inflight.timer.cancel()
+            if self._inflight.span is not None:
+                self.peer.tracer.finish(self._inflight.span, outcome="cancelled")
             self._inflight = None
         if self._retry_event is not None:
             self._retry_event.cancel()
@@ -367,7 +388,13 @@ class SyncManager:
             lambda: self._on_timeout(req_id),
             label=f"sync-timeout:{self.peer.node_id}",
         )
-        self._inflight = _InFlight(req_id=req_id, provider=provider, start=start, end=end, timer=timer)
+        span = self.peer.tracer.start(
+            "sync.fetch", peer=self.peer.node_id, provider=provider,
+            start=start, end=end, req_id=req_id,
+        )
+        self._inflight = _InFlight(
+            req_id=req_id, provider=provider, start=start, end=end, timer=timer, span=span
+        )
         self.metrics.requests_sent += 1
         if self._round_failures:
             self.metrics.retries += 1
@@ -378,6 +405,8 @@ class SyncManager:
         if inflight is None or inflight.req_id != req_id:
             return
         self._inflight = None
+        if inflight.span is not None:
+            self.peer.tracer.finish(inflight.span, outcome="timeout")
         if self.stopped or self.peer.crashed:
             return
         self.metrics.timeouts += 1
@@ -430,6 +459,11 @@ class SyncManager:
             return
         inflight.timer.cancel()
         self._inflight = None
+        if inflight.span is not None:
+            self.peer.tracer.finish(
+                inflight.span, outcome="response",
+                n_blocks=len(payload.get("blocks", ())),
+            )
         provider = message.src
         self._provider_timeouts.pop(provider, None)
         self._round_failures = 0
@@ -464,9 +498,7 @@ class SyncManager:
             return
         duration = self.peer.sim.now - self._lag_since
         lag_blocks = self.peer.ledger.height - (self._lag_from_height or 0)
-        self.metrics.syncs_completed += 1
-        self.metrics.lag_time_total += duration
-        self.metrics.sync_durations.append((lag_blocks, duration))
+        self.metrics.record_catchup(lag_blocks, duration)
         self._lag_since = None
         self._lag_from_height = None
 

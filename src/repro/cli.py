@@ -50,6 +50,26 @@ def build_parser() -> argparse.ArgumentParser:
     race.add_argument("--seed", type=int, default=0)
 
     subparsers.add_parser("stats", help="build a demo world and print ledger analytics")
+
+    report = subparsers.add_parser(
+        "report", help="per-phase latency report from an observability trace"
+    )
+    report.add_argument(
+        "--trace", default="benchmarks/latest_trace.jsonl",
+        help="JSON-lines trace to summarise (default: benchmarks/latest_trace.jsonl)",
+    )
+    report.add_argument(
+        "--demo", action="store_true",
+        help="first run a small traced workload and write --trace from it",
+    )
+    report.add_argument(
+        "--consensus", choices=("poa", "pbft"), default="pbft",
+        help="consensus engine for --demo (default: pbft — a crashed peer "
+        "falls behind and the sync-fetch phase shows up in the breakdown)",
+    )
+    report.add_argument("--txs", type=int, default=30, help="--demo transaction count")
+    report.add_argument("--seed", type=int, default=7)
+    report.add_argument("--out", default=None, help="also write the markdown here")
     return parser
 
 
@@ -153,6 +173,72 @@ def _run_stats() -> int:
     return 0
 
 
+def _run_report(args: argparse.Namespace) -> int:
+    import pathlib
+
+    from repro.obs import read_jsonl, report_from_records
+
+    trace = pathlib.Path(args.trace)
+    if args.demo:
+        _run_report_demo(trace, consensus=args.consensus, txs=args.txs, seed=args.seed)
+    if not trace.exists():
+        print(f"no trace at {trace}; run with --demo or point --trace at a "
+              "file written by repro.obs.export_jsonl", file=sys.stderr)
+        return 1
+    records = read_jsonl(trace)
+    markdown = report_from_records(records, title=f"Observability report — {trace.name}")
+    print(markdown)
+    if args.out:
+        out = pathlib.Path(args.out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(markdown + "\n", encoding="utf-8")
+        print(f"(written to {out})", file=sys.stderr)
+    return 0
+
+
+def _run_report_demo(
+    trace, consensus: str = "pbft", txs: int = 30, seed: int = 7
+) -> None:
+    """Run a small traced workload end to end and export its timeline.
+
+    Crashes one peer mid-run so the sync-fetch phase shows up in the
+    breakdown alongside endorse/gossip/order/consensus/commit.
+    """
+    from repro.chain import BlockchainNetwork
+    from repro.core import IdentityContract
+    from repro.obs import export_jsonl, snapshot_crypto_cache
+    from repro.simnet import FixedLatency
+
+    net = BlockchainNetwork(
+        n_peers=4, consensus=consensus, block_interval=0.25,
+        latency=FixedLatency(0.02), seed=seed,
+    )
+    net.install_contract(IdentityContract)
+    straggler = net.peers[-1]
+    for i in range(txs):
+        if i == txs // 3:
+            straggler.crashed = True
+        if i == (2 * txs) // 3:
+            straggler.restart()
+        client = net.client()
+        # wait=False: a crashed validator stalls its PoA rotation slots,
+        # so blocking per-tx would deadlock the submit loop mid-outage.
+        client.invoke(
+            "identity", "register",
+            {"display_name": f"demo-{i}", "role": "consumer"},
+            wait=False,
+        )
+        net.run_for(0.1)
+    net.run_for(20.0)
+    snapshot_crypto_cache(net.obs)
+    written = export_jsonl(
+        trace, net.obs, net.tracer,
+        meta={"workload": "report-demo", "consensus": consensus,
+              "txs": txs, "seed": seed, "sim_time": net.sim.now},
+    )
+    print(f"(demo wrote {written} records to {trace})", file=sys.stderr)
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "demo":
@@ -163,6 +249,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _run_race(args)
     if args.command == "stats":
         return _run_stats()
+    if args.command == "report":
+        return _run_report(args)
     return 2  # unreachable: argparse enforces the choices
 
 

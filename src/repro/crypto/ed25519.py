@@ -17,12 +17,19 @@ Key management lives in :mod:`repro.crypto.keys`.
 
 from __future__ import annotations
 
-import functools
 import hashlib
 
 from repro.errors import CryptoError
 
-__all__ = ["generate_public_key", "sign", "verify", "SEED_BYTES", "SIG_BYTES"]
+__all__ = [
+    "generate_public_key",
+    "sign",
+    "verify",
+    "verify_cache_stats",
+    "verify_cache_clear",
+    "SEED_BYTES",
+    "SIG_BYTES",
+]
 
 SEED_BYTES = 32
 SIG_BYTES = 64
@@ -183,21 +190,79 @@ def sign(seed: bytes, message: bytes) -> bytes:
     return r_point + int.to_bytes(s, 32, "little")
 
 
-@functools.lru_cache(maxsize=200_000)
+# -- memoized verification ---------------------------------------------------
+#
+# In the simulator every peer re-verifies the same immutable transaction
+# bytes, and verification is a pure function of its inputs, so caching
+# changes no outcome — it only stops an n-peer network from paying the
+# same scalar multiplications n times.  The cache is keyed on
+# sha512(pubkey ‖ msg ‖ sig) rather than the raw argument tuple: an
+# lru_cache key retains the full message bytes, so 200k entries of
+# kilobyte-scale payloads pinned hundreds of MB.  Digest keys are a
+# fixed 64 bytes regardless of payload size.  (The three inputs have
+# fixed lengths — checked before lookup — so the concatenation is
+# unambiguous.)  Eviction is insertion-order FIFO over a plain dict,
+# which is deterministic and O(1) amortized.
+
+_VERIFY_CACHE: dict[bytes, bool] = {}
+#: Entry cap; each entry is a 64-byte key + bool, so the cache memory
+#: bound no longer scales with payload size.  Tests may shrink this.
+VERIFY_CACHE_MAX = 200_000
+
+_cache_hits = 0
+_cache_misses = 0
+_cache_evictions = 0
+
+
+def verify_cache_stats() -> dict[str, int]:
+    """Hit/miss/eviction counters plus current size, for the obs registry
+    (see :func:`repro.obs.export.snapshot_crypto_cache`)."""
+    return {
+        "hits": _cache_hits,
+        "misses": _cache_misses,
+        "evictions": _cache_evictions,
+        "size": len(_VERIFY_CACHE),
+    }
+
+
+def verify_cache_clear() -> None:
+    """Reset the verification cache and its counters (test isolation)."""
+    global _cache_hits, _cache_misses, _cache_evictions
+    _VERIFY_CACHE.clear()
+    _cache_hits = _cache_misses = _cache_evictions = 0
+
+
 def verify(public_key: bytes, message: bytes, signature: bytes) -> bool:
     """Check an Ed25519 signature; returns ``False`` on any mismatch.
 
     Malformed inputs (wrong lengths, non-points) return ``False`` rather
     than raising, so callers can treat all bad signatures uniformly.
-
-    Results are memoized: in the simulator every peer re-verifies the
-    same immutable transaction bytes, and verification is a pure
-    function of its inputs, so caching changes no outcome — it only
-    stops an n-peer network from paying the same scalar multiplications
-    n times.  (Real deployments batch-verify for the same reason.)
+    Results are memoized on a bounded digest-keyed cache (see above).
     """
+    global _cache_hits, _cache_misses
     if len(public_key) != 32 or len(signature) != SIG_BYTES:
         return False
+    key = _sha512(public_key + message + signature)
+    cached = _VERIFY_CACHE.get(key)
+    if cached is not None:
+        _cache_hits += 1
+        return cached
+    _cache_misses += 1
+    result = _verify_uncached(public_key, message, signature)
+    if len(_VERIFY_CACHE) >= VERIFY_CACHE_MAX:
+        _evict_oldest()
+    _VERIFY_CACHE[key] = result
+    return result
+
+
+def _evict_oldest() -> None:
+    global _cache_evictions
+    oldest = next(iter(_VERIFY_CACHE))
+    del _VERIFY_CACHE[oldest]
+    _cache_evictions += 1
+
+
+def _verify_uncached(public_key: bytes, message: bytes, signature: bytes) -> bool:
     try:
         a_point = _point_decompress(public_key)
         r_point = _point_decompress(signature[:32])

@@ -1,0 +1,140 @@
+"""Sim-time-aware spans for the transaction lifecycle.
+
+A :class:`Span` measures one phase of work on the *simulated* clock —
+the clock the scalability claims are about — and additionally carries a
+wall-clock duration attribute for phases that are synchronous in sim
+time (endorsement is a zero-sim-time RPC but real CPU work).
+
+Spans are explicitly started and finished rather than scoped to a
+``with`` block because the interesting lifecycles cross event-loop
+callbacks: a sync fetch starts when the request is sent and finishes
+when the response (or timeout) arrives several simulated seconds later.
+A context-manager form is provided for the synchronous phases.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Any, Callable, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.registry import MetricsRegistry
+
+__all__ = ["Span", "Tracer"]
+
+#: Finished spans kept in memory per tracer; the oldest are evicted
+#: (and counted) beyond this, so long chaos runs cannot OOM the tracer.
+DEFAULT_MAX_SPANS = 20_000
+
+
+class Span:
+    """One timed phase: name, sim-time window, free-form attributes."""
+
+    __slots__ = ("name", "span_id", "parent_id", "start", "end", "attrs", "_wall_start")
+
+    def __init__(self, name: str, span_id: int, start: float,
+                 parent_id: int | None = None, attrs: dict[str, Any] | None = None):
+        self.name = name
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.start = start
+        self.end: float | None = None
+        self.attrs: dict[str, Any] = dict(attrs or {})
+        self._wall_start = time.perf_counter()
+
+    @property
+    def finished(self) -> bool:
+        return self.end is not None
+
+    @property
+    def duration(self) -> float:
+        """Sim-time duration (0.0 while unfinished)."""
+        return (self.end - self.start) if self.end is not None else 0.0
+
+    def as_record(self) -> dict[str, Any]:
+        return {
+            "type": "span",
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start": self.start,
+            "end": self.end,
+            "duration": self.duration,
+            "attrs": dict(self.attrs),
+        }
+
+
+class Tracer:
+    """Produces and collects :class:`Span` objects against one clock.
+
+    ``clock`` is any zero-arg callable returning the current simulated
+    time (typically ``lambda: sim.now``).  When a *registry* is given,
+    every finished span also feeds a ``span`` histogram labelled by span
+    name, so percentiles are available without replaying the timeline.
+    """
+
+    def __init__(
+        self,
+        clock: Callable[[], float],
+        registry: "MetricsRegistry | None" = None,
+        max_spans: int = DEFAULT_MAX_SPANS,
+    ):
+        self.clock = clock
+        self.registry = registry
+        self.max_spans = max_spans
+        self.finished: list[Span] = []
+        self.dropped = 0
+        self._ids = itertools.count(1)
+        self._open = 0
+
+    # -- span lifecycle ----------------------------------------------------
+
+    def start(self, name: str, parent: Span | None = None, **attrs: Any) -> Span:
+        span = Span(
+            name,
+            span_id=next(self._ids),
+            start=self.clock(),
+            parent_id=parent.span_id if parent is not None else None,
+            attrs=attrs,
+        )
+        self._open += 1
+        return span
+
+    def finish(self, span: Span, **attrs: Any) -> Span:
+        """Close *span* at the current sim time and record it."""
+        if span.finished:
+            return span
+        span.end = self.clock()
+        span.attrs.update(attrs)
+        span.attrs.setdefault("wall_ms", (time.perf_counter() - span._wall_start) * 1e3)
+        self._open = max(0, self._open - 1)
+        self.finished.append(span)
+        if len(self.finished) > self.max_spans:
+            overflow = len(self.finished) - self.max_spans
+            del self.finished[:overflow]
+            self.dropped += overflow
+        if self.registry is not None:
+            self.registry.histogram("span", phase=span.name).observe(span.duration)
+            self.registry.counter("spans_finished", phase=span.name).inc()
+        return span
+
+    @contextmanager
+    def trace(self, name: str, parent: Span | None = None, **attrs: Any) -> Iterator[Span]:
+        """Scope a span over a synchronous block (endorse, commit apply)."""
+        span = self.start(name, parent=parent, **attrs)
+        try:
+            yield span
+        finally:
+            self.finish(span)
+
+    # -- read side ---------------------------------------------------------
+
+    def spans(self, name: str | None = None) -> list[Span]:
+        if name is None:
+            return list(self.finished)
+        return [s for s in self.finished if s.name == name]
+
+    def records(self) -> list[dict[str, Any]]:
+        return [span.as_record() for span in self.finished]

@@ -1,0 +1,66 @@
+"""Attribute views over registry metrics.
+
+The seed code read and wrote plain-attribute stat objects
+(``peer.metrics.txs_committed_valid += 1``); migrating those counters
+into the shared :class:`~repro.obs.registry.MetricsRegistry` must not
+break that API.  :class:`metric_attr` is a descriptor that makes a class
+attribute behave exactly like the old int/float field while the value
+actually lives in a registry counter — reads, writes, and ``+=`` all
+work, and the exporters see every increment.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.obs.registry import Counter, MetricsRegistry
+
+__all__ = ["ObsView", "metric_attr"]
+
+
+class metric_attr:
+    """Class attribute backed by a registry counter.
+
+    The owning class must provide ``_obs_counter(metric_name)``
+    returning a :class:`~repro.obs.registry.Counter`
+    (:class:`ObsView` does).  Counter handles are cached per instance,
+    so hot-path ``+=`` costs one dict lookup, not a registry resolve.
+    """
+
+    __slots__ = ("metric", "attr")
+
+    def __init__(self, metric: str):
+        self.metric = metric
+
+    def __set_name__(self, owner: type, name: str) -> None:
+        self.attr = name
+
+    def __get__(self, obj: Any, objtype: type | None = None) -> Any:
+        if obj is None:
+            return self
+        return obj._obs_counter(self.metric).value
+
+    def __set__(self, obj: Any, value: float) -> None:
+        obj._obs_counter(self.metric).set(value)
+
+
+class ObsView:
+    """Base for stat objects whose counters live in a registry.
+
+    Subclasses declare ``metric_attr`` fields; construction takes an
+    optional shared registry plus labels (``peer="peer-0"``).  Without a
+    registry a private one is created, so standalone construction — the
+    seed API — still works.
+    """
+
+    def __init__(self, registry: MetricsRegistry | None = None, **labels: str):
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.labels = {k: v for k, v in labels.items() if v}
+        self._counter_cache: dict[str, Counter] = {}
+
+    def _obs_counter(self, metric: str) -> Counter:
+        counter = self._counter_cache.get(metric)
+        if counter is None:
+            counter = self.registry.counter(metric, **self.labels)
+            self._counter_cache[metric] = counter
+        return counter

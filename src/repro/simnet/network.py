@@ -17,6 +17,7 @@ from dataclasses import dataclass
 from typing import Any
 
 from repro.errors import SimulationError
+from repro.obs import MetricsRegistry, ObsView, metric_attr
 from repro.simnet.events import Simulator
 from repro.simnet.latency import FixedLatency, LatencyModel
 
@@ -114,17 +115,21 @@ class NetworkNode(ABC):
                 self.network.transmit(self.node_id, dst, kind, payload, _size=size)
 
 
-@dataclass
-class NetworkStats:
-    """Counters the scalability benchmarks read out."""
+class NetworkStats(ObsView):
+    """Counters the scalability benchmarks read out.
 
-    sent: int = 0
-    delivered: int = 0
-    dropped_partition: int = 0
-    dropped_random: int = 0
-    dropped_crashed: int = 0
-    total_latency: float = 0.0
-    bytes_estimate: int = 0
+    The attribute API (``stats.sent``, ``stats.delivered += 1``, …) is
+    unchanged from the seed dataclass, but the values now live in a
+    :class:`~repro.obs.MetricsRegistry` (the network's, when given one)
+    so exports report transport counters next to chain metrics."""
+
+    sent = metric_attr("net.sent")
+    delivered = metric_attr("net.delivered")
+    dropped_partition = metric_attr("net.dropped_partition")
+    dropped_random = metric_attr("net.dropped_random")
+    dropped_crashed = metric_attr("net.dropped_crashed")
+    total_latency = metric_attr("net.total_latency")
+    bytes_estimate = metric_attr("net.bytes_estimate")
 
     @property
     def mean_latency(self) -> float:
@@ -140,6 +145,7 @@ class Network:
         latency: LatencyModel | None = None,
         drop_probability: float = 0.0,
         seed: int = 0,
+        obs: MetricsRegistry | None = None,
     ):
         if not 0 <= drop_probability < 1:
             raise SimulationError("drop_probability must be in [0, 1)")
@@ -147,7 +153,7 @@ class Network:
         self.latency = latency or FixedLatency()
         self.drop_probability = drop_probability
         self.rng = random.Random(seed)
-        self.stats = NetworkStats()
+        self.stats = NetworkStats(registry=obs)
         self._nodes: dict[str, NetworkNode] = {}
         self._partition: list[frozenset[str]] | None = None
 

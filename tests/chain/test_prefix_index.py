@@ -1,0 +1,71 @@
+"""Regression tests for the sorted-key prefix index on WorldState.
+
+The seed implementation of ``keys_with_prefix`` materialized and sorted
+the *entire* keyspace on every call — O(n log n) per scan.  The fix
+maintains a sorted key index updated on commit (O(log n) per write) and
+serves scans by bisect + walk, O(log n + k).  These tests fail on the
+pre-fix code: the index attribute did not exist, and nothing kept it
+consistent across inserts, overwrites, and deletes.
+"""
+
+import random
+
+from repro.chain.state import WorldState
+
+
+def _brute_force(state, prefix):
+    return sorted(k for k in state._store if k.startswith(prefix))
+
+
+def test_index_exists_and_matches_store():
+    state = WorldState()
+    state.apply_write_set({"b": 1, "a": 2, "c": 3})
+    assert state._sorted_keys == ["a", "b", "c"]
+
+
+def test_scan_correct_after_mixed_operations():
+    state = WorldState()
+    rng = random.Random(7)
+    alive = {}
+    for round_no in range(30):
+        writes = {}
+        for _ in range(20):
+            key = f"pre{rng.randrange(5)}/k{rng.randrange(200):04d}"
+            if alive and rng.random() < 0.3:
+                victim = rng.choice(sorted(alive))
+                writes[victim] = None  # delete
+                alive.pop(victim, None)
+            else:
+                writes[key] = {"round": round_no}
+                alive[key] = True
+        state.apply_write_set(writes)
+        # Index stays sorted and exactly mirrors the committed store.
+        assert state._sorted_keys == sorted(state._store)
+        for prefix in ("pre0/", "pre3/", "pre", "missing/"):
+            assert list(state.keys_with_prefix(prefix)) == _brute_force(state, prefix)
+
+
+def test_overwrite_does_not_duplicate_index_entry():
+    state = WorldState()
+    state.apply_write_set({"k": 1})
+    state.apply_write_set({"k": 2})
+    state.apply_write_set({"k": 3})
+    assert state._sorted_keys == ["k"]
+    assert list(state.keys_with_prefix("k")) == ["k"]
+
+
+def test_delete_of_absent_key_leaves_index_intact():
+    state = WorldState()
+    state.apply_write_set({"a": 1, "b": 2})
+    state.apply_write_set({"ghost": None})
+    assert state._sorted_keys == ["a", "b"]
+
+
+def test_scan_is_lazy_and_stops_at_prefix_boundary():
+    state = WorldState()
+    state.apply_write_set({f"aa/{i}": i for i in range(100)})
+    state.apply_write_set({f"zz/{i}": i for i in range(100)})
+    scan = state.keys_with_prefix("aa/")
+    first = next(scan)
+    assert first == "aa/0"
+    assert len(list(scan)) == 99  # never touches the zz/ half

@@ -1,0 +1,99 @@
+"""Regression tests for the bounded digest-keyed verification cache.
+
+The seed memoized ``verify`` with ``functools.lru_cache``, keying on the
+raw ``(public_key, message, signature)`` tuple — so every cached entry
+pinned its full message bytes, and 200k kilobyte-scale payloads pinned
+hundreds of MB.  The fix keys a plain bounded dict on
+``sha512(pubkey ‖ message ‖ signature)`` (fixed 64-byte keys), counts
+hits/misses/evictions for the obs registry, and evicts FIFO.  These
+tests fail on the pre-fix code: the stats API did not exist and the
+cache was not inspectable.
+"""
+
+import random
+
+import pytest
+
+from repro.crypto import KeyPair, ed25519
+
+
+@pytest.fixture(autouse=True)
+def clean_cache():
+    ed25519.verify_cache_clear()
+    yield
+    ed25519.verify_cache_clear()
+
+
+@pytest.fixture
+def keypair():
+    return KeyPair.generate(random.Random(11))
+
+
+def test_hit_miss_accounting(keypair):
+    message = b"breaking news"
+    signature = keypair.sign(message)
+    assert keypair.verify(message, signature)
+    stats = ed25519.verify_cache_stats()
+    assert stats == {"hits": 0, "misses": 1, "evictions": 0, "size": 1}
+    for _ in range(3):
+        assert keypair.verify(message, signature)
+    stats = ed25519.verify_cache_stats()
+    assert stats["hits"] == 3
+    assert stats["misses"] == 1
+    assert stats["size"] == 1
+
+
+def test_negative_results_are_cached_separately(keypair):
+    message = b"msg"
+    good = keypair.sign(message)
+    bad = bytes(64)
+    assert keypair.verify(message, good)
+    assert not keypair.verify(message, bad)
+    assert not keypair.verify(message, bad)  # cached False stays False
+    stats = ed25519.verify_cache_stats()
+    assert stats["misses"] == 2
+    assert stats["hits"] == 1
+    # The cached verdicts never cross-contaminate.
+    assert keypair.verify(message, good)
+
+
+def test_malformed_lengths_bypass_cache(keypair):
+    # Wrong-length inputs return False before touching the cache, so the
+    # digest key (fixed-length inputs only) stays unambiguous.
+    assert not ed25519.verify(b"short", b"m", bytes(64))
+    assert not ed25519.verify(bytes(32), b"m", b"short")
+    assert ed25519.verify_cache_stats()["size"] == 0
+
+
+def test_cache_is_bounded_with_fifo_eviction(keypair, monkeypatch):
+    monkeypatch.setattr(ed25519, "VERIFY_CACHE_MAX", 8)
+    signatures = []
+    for i in range(12):
+        message = f"m{i}".encode()
+        signatures.append((message, keypair.sign(message)))
+        assert keypair.verify(*signatures[-1])
+    stats = ed25519.verify_cache_stats()
+    assert stats["size"] <= 8
+    assert stats["evictions"] == 12 - 8
+    # Oldest entries were evicted: re-verifying m0 is a miss again,
+    # the newest is still a hit.
+    before = ed25519.verify_cache_stats()["misses"]
+    assert keypair.verify(*signatures[0])
+    assert ed25519.verify_cache_stats()["misses"] == before + 1
+    before_hits = ed25519.verify_cache_stats()["hits"]
+    assert keypair.verify(*signatures[-1])
+    assert ed25519.verify_cache_stats()["hits"] == before_hits + 1
+
+
+def test_snapshot_into_registry(keypair):
+    from repro.obs import MetricsRegistry, snapshot_crypto_cache
+
+    message = b"x"
+    signature = keypair.sign(message)
+    keypair.verify(message, signature)
+    keypair.verify(message, signature)
+    registry = MetricsRegistry()
+    stats = snapshot_crypto_cache(registry)
+    assert registry.gauge("crypto.verify_cache_hits").value == stats["hits"] == 1
+    assert registry.gauge("crypto.verify_cache_misses").value == stats["misses"] == 1
+    assert registry.gauge("crypto.verify_cache_size").value == 1

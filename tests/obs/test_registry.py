@@ -1,0 +1,105 @@
+"""Unit tests for the metrics registry: counters, gauges, histograms."""
+
+import pytest
+
+from repro.obs import MetricsRegistry
+from repro.obs.registry import Histogram, merge_histograms
+
+
+def test_counter_identity_and_labels():
+    registry = MetricsRegistry()
+    a = registry.counter("txs", peer="p0")
+    b = registry.counter("txs", peer="p0")
+    c = registry.counter("txs", peer="p1")
+    assert a is b
+    assert a is not c
+    a.inc()
+    a.inc(2)
+    assert a.value == 3
+    assert c.value == 0
+    assert registry.total("txs") == 3
+    c.inc(4)
+    assert registry.total("txs") == 7
+
+
+def test_gauge_goes_down():
+    registry = MetricsRegistry()
+    gauge = registry.gauge("depth")
+    gauge.inc(5)
+    gauge.dec(2)
+    assert gauge.value == 3
+    assert gauge.as_record()["kind"] == "gauge"
+
+
+def test_histogram_exact_stats_bounded_reservoir():
+    hist = Histogram("h", {}, capacity=64)
+    for i in range(1000):
+        hist.observe(float(i))
+    # Exact aggregates are unaffected by the reservoir bound.
+    assert hist.count == 1000
+    assert hist.total == sum(range(1000))
+    assert hist.min == 0.0
+    assert hist.max == 999.0
+    # The reservoir itself never exceeds capacity.
+    assert len(hist.values) == 64
+    # Percentiles come from a uniform sample: loose sanity bounds.
+    assert 300 < hist.percentile(50) < 700
+    assert hist.percentile(99) > hist.percentile(50)
+
+
+def test_histogram_percentiles_exact_under_capacity():
+    hist = Histogram("h", {}, capacity=1024)
+    for v in [1.0, 2.0, 3.0, 4.0, 5.0]:
+        hist.observe(v)
+    assert hist.percentile(0) == 1.0
+    assert hist.percentile(50) == 3.0
+    assert hist.percentile(100) == 5.0
+    summary = hist.summary()
+    assert summary["count"] == 5
+    assert summary["mean"] == 3.0
+    assert summary["p50"] == 3.0
+
+
+def test_histogram_deterministic_reservoir():
+    """Same name/labels + same observations → identical reservoir."""
+    runs = []
+    for _ in range(2):
+        hist = Histogram("det", {"peer": "p0"}, capacity=16)
+        for i in range(500):
+            hist.observe(float(i * 7 % 101))
+        runs.append(hist.values)
+    assert runs[0] == runs[1]
+
+
+def test_histogram_capacity_validation():
+    with pytest.raises(ValueError):
+        Histogram("h", {}, capacity=0)
+
+
+def test_merge_histograms_pools_counts_and_extremes():
+    registry = MetricsRegistry()
+    a = registry.histogram("lat", peer="p0")
+    b = registry.histogram("lat", peer="p1")
+    for v in (1.0, 2.0):
+        a.observe(v)
+    for v in (10.0, 20.0):
+        b.observe(v)
+    merged = registry.merged_histogram("lat")
+    assert merged.count == 4
+    assert merged.total == 33.0
+    assert merged.min == 1.0
+    assert merged.max == 20.0
+    assert sorted(merged.values) == [1.0, 2.0, 10.0, 20.0]
+
+
+def test_collect_is_json_ready_and_stable():
+    registry = MetricsRegistry()
+    registry.counter("c", peer="p1").inc()
+    registry.histogram("h").observe(1.5)
+    registry.gauge("g").set(7)
+    records = registry.collect()
+    assert len(records) == len(registry) == 3
+    kinds = {r["kind"] for r in records}
+    assert kinds == {"counter", "gauge", "histogram"}
+    assert records == registry.collect()  # stable ordering
+    assert registry.names() == ["c", "g", "h"]

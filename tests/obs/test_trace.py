@@ -1,0 +1,86 @@
+"""Unit tests for the sim-time tracer."""
+
+from repro.obs import MetricsRegistry, Tracer
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+def test_span_measures_sim_time():
+    clock = FakeClock()
+    tracer = Tracer(clock)
+    span = tracer.start("fetch", peer="p0")
+    clock.now = 2.5
+    tracer.finish(span, outcome="ok")
+    assert span.finished
+    assert span.duration == 2.5
+    assert span.attrs["peer"] == "p0"
+    assert span.attrs["outcome"] == "ok"
+    assert span.attrs["wall_ms"] >= 0.0
+    assert tracer.spans("fetch") == [span]
+
+
+def test_parent_linkage_and_records():
+    clock = FakeClock()
+    tracer = Tracer(clock)
+    parent = tracer.start("commit")
+    child = tracer.start("apply", parent=parent)
+    tracer.finish(child)
+    tracer.finish(parent)
+    assert child.parent_id == parent.span_id
+    records = tracer.records()
+    assert [r["name"] for r in records] == ["apply", "commit"]
+    assert all(r["type"] == "span" for r in records)
+
+
+def test_double_finish_is_idempotent():
+    clock = FakeClock()
+    tracer = Tracer(clock)
+    span = tracer.start("x")
+    clock.now = 1.0
+    tracer.finish(span)
+    clock.now = 9.0
+    tracer.finish(span)
+    assert span.duration == 1.0
+    assert len(tracer.finished) == 1
+
+
+def test_bounded_span_buffer_evicts_oldest():
+    clock = FakeClock()
+    tracer = Tracer(clock, max_spans=10)
+    for i in range(25):
+        tracer.finish(tracer.start(f"s{i}"))
+    assert len(tracer.finished) == 10
+    assert tracer.dropped == 15
+    assert tracer.finished[0].name == "s15"  # oldest were evicted
+
+
+def test_registry_fed_on_finish():
+    clock = FakeClock()
+    registry = MetricsRegistry()
+    tracer = Tracer(clock, registry=registry)
+    span = tracer.start("sync.fetch")
+    clock.now = 0.25
+    tracer.finish(span)
+    hist = registry.histogram("span", phase="sync.fetch")
+    assert hist.count == 1
+    assert hist.values == [0.25]
+    assert registry.total("spans_finished") == 1
+
+
+def test_trace_contextmanager_finishes_on_exception():
+    clock = FakeClock()
+    tracer = Tracer(clock)
+    try:
+        with tracer.trace("work") as span:
+            clock.now = 1.5
+            raise RuntimeError("boom")
+    except RuntimeError:
+        pass
+    assert span.finished
+    assert span.duration == 1.5

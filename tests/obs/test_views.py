@@ -1,0 +1,43 @@
+"""The attribute-view layer: seed-era stat APIs over registry counters."""
+
+from repro.obs import MetricsRegistry, ObsView, metric_attr
+
+
+class DemoStats(ObsView):
+    hits = metric_attr("demo.hits")
+    misses = metric_attr("demo.misses")
+
+
+def test_standalone_view_has_private_registry():
+    stats = DemoStats()
+    assert stats.hits == 0
+    stats.hits += 1
+    stats.hits += 1
+    stats.misses = 5
+    assert stats.hits == 2
+    assert stats.misses == 5
+
+
+def test_shared_registry_sees_every_increment():
+    registry = MetricsRegistry()
+    stats = DemoStats(registry=registry, peer="p3")
+    stats.hits += 3
+    counter = registry.counter("demo.hits", peer="p3")
+    assert counter.value == 3
+    # ... and writes through the registry show up in the view.
+    counter.inc(2)
+    assert stats.hits == 5
+
+
+def test_label_isolation_between_views():
+    registry = MetricsRegistry()
+    a = DemoStats(registry=registry, peer="a")
+    b = DemoStats(registry=registry, peer="b")
+    a.hits += 1
+    assert b.hits == 0
+    assert registry.total("demo.hits") == 1
+
+
+def test_empty_labels_are_dropped():
+    stats = DemoStats(peer="")
+    assert stats.labels == {}

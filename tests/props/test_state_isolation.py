@@ -1,0 +1,96 @@
+"""Property: the scalar fast path in state reads/writes never aliases.
+
+``WorldState.get`` / ``StateSnapshot.get`` / ``StateSnapshot.put`` skip
+the defensive ``copy.deepcopy`` for immutable JSON scalars (str, int,
+float, bool, None) — that copy dominated the endorse/commit hot path —
+but must keep deep-copying containers: a caller mutating a returned
+list/dict, or mutating a value it previously ``put``, must never reach
+committed state.  Hypothesis drives arbitrary JSON documents through
+both paths and proves no mutation leaks.
+"""
+
+from __future__ import annotations
+
+import copy
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chain.state import WorldState
+
+json_values = st.recursive(
+    st.none()
+    | st.booleans()
+    | st.integers(min_value=-(2**31), max_value=2**31)
+    | st.floats(allow_nan=False, allow_infinity=False)
+    | st.text(max_size=20),
+    lambda children: st.lists(children, max_size=4)
+    | st.dictionaries(st.text(max_size=8), children, max_size=4),
+    max_leaves=12,
+)
+
+
+def _mutate_in_place(value):
+    """Mutate every mutable container reachable from *value*."""
+    if isinstance(value, list):
+        value.append("TAMPERED")
+        for item in value[:-1]:
+            _mutate_in_place(item)
+    elif isinstance(value, dict):
+        value["TAMPERED"] = True
+        for item in value.values():
+            _mutate_in_place(item)
+
+
+@settings(max_examples=60, deadline=None)
+@given(value=json_values)
+def test_committed_value_isolated_from_caller_mutation(value):
+    state = WorldState()
+    original = copy.deepcopy(value)
+    state.apply_write_set({"k": value})
+
+    # Mutating what the caller passed in must not change committed state.
+    _mutate_in_place(value)
+    assert state.get("k") == original
+
+    # Mutating what a read returned must not change committed state.
+    returned = state.get("k")
+    _mutate_in_place(returned)
+    assert state.get("k") == original
+
+
+@settings(max_examples=60, deadline=None)
+@given(value=json_values)
+def test_snapshot_put_and_get_are_isolated(value):
+    state = WorldState()
+    snapshot = state.snapshot()
+    if value is None:
+        return  # None is the deletion marker; put() rejects it
+    original = copy.deepcopy(value)
+    snapshot.put("k", value)
+
+    # The write buffer must not alias the caller's object...
+    _mutate_in_place(value)
+    assert snapshot.get("k") == original
+
+    # ...and read-your-writes results must not alias the buffer.
+    returned = snapshot.get("k")
+    _mutate_in_place(returned)
+    assert snapshot.get("k") == original
+
+    # Committing the buffered writes carries the untampered value.
+    state.apply_write_set(snapshot.write_buffer)
+    assert state.get("k") == original
+
+
+@settings(max_examples=30, deadline=None)
+@given(value=json_values)
+def test_scalar_fast_path_skips_copy(value):
+    """The perf contract itself: scalars come back identical (no copy),
+    containers come back equal but distinct objects."""
+    state = WorldState()
+    state.apply_write_set({"k": value})
+    returned = state.get("k")
+    assert returned == value
+    if isinstance(value, (list, dict)):
+        assert returned is not value

@@ -62,3 +62,38 @@ def test_demo_missing_examples_dir(tmp_path, monkeypatch, capsys):
     )
     code = main(["demo", "quickstart"])
     assert code == 1
+
+
+def test_report_missing_trace(tmp_path, capsys):
+    code = main(["report", "--trace", str(tmp_path / "nope.jsonl")])
+    assert code == 1
+    assert "no trace at" in capsys.readouterr().err
+
+
+def test_report_from_exported_trace(tmp_path, capsys):
+    from repro.obs import MetricsRegistry, Tracer, export_jsonl
+
+    registry = MetricsRegistry()
+    registry.histogram("phase.commit_latency", peer="p0").observe(0.3)
+    registry.counter("peer.txs_committed_valid", peer="p0").inc(2)
+    tracer = Tracer(clock=lambda: 0.0, registry=registry)
+    trace = tmp_path / "t.jsonl"
+    export_jsonl(trace, registry, tracer, meta={"run": "cli-test"})
+
+    out = tmp_path / "report.md"
+    code = main(["report", "--trace", str(trace), "--out", str(out)])
+    assert code == 0
+    stdout = capsys.readouterr().out
+    assert "| commit_latency | 1 |" in stdout
+    assert out.read_text().rstrip("\n") == stdout.rstrip("\n")
+
+
+def test_report_demo_writes_trace_and_phases(tmp_path, capsys):
+    trace = tmp_path / "demo.jsonl"
+    code = main(["report", "--demo", "--trace", str(trace), "--txs", "12"])
+    assert code == 0
+    assert trace.exists()
+    stdout = capsys.readouterr().out
+    for phase in ("endorse", "gossip", "order_wait", "consensus_round",
+                  "commit_latency"):
+        assert f"| {phase} |" in stdout, phase
