@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: lint test chaos bench recovery obs-demo
+.PHONY: lint test chaos bench bench-smoke recovery obs-demo
 
 # Byte-compile everything (pyflakes is not vendored; compileall still
 # catches syntax errors across src/tests/benchmarks before the suite runs).
@@ -18,6 +18,13 @@ chaos:
 
 bench:
 	$(PYTHON) -m pytest benchmarks -q
+
+# CI-sized pass over the substrate micro-benchmarks: REPRO_BENCH_SMOKE=1
+# shrinks the crypto benches so the hot paths are exercised on every
+# push without the statistical assertions (which need quiet hardware).
+bench-smoke:
+	REPRO_BENCH_SMOKE=1 $(PYTHON) -m pytest benchmarks/bench_micro_substrate.py -q \
+		--benchmark-disable
 
 # Crash-recovery: deep catch-up tests + the recovery benchmark
 # (writes benchmarks/latest_recovery.json).

@@ -8,6 +8,7 @@ statistics (unlike the one-shot experiment benches).
 
 from __future__ import annotations
 
+import os
 import random
 import time
 
@@ -16,9 +17,13 @@ from repro.chain import LocalChain
 from repro.chain.state import WorldState
 from repro.core import ProvenanceIndex
 from repro.corpus import CorpusGenerator
-from repro.crypto import KeyPair
+from repro.crypto import KeyPair, ed25519
 from repro.obs import MetricsRegistry
 from tests.conftest import CounterContract
+
+# REPRO_BENCH_SMOKE=1 shrinks the slow crypto benches to a CI-sized
+# sanity pass (exercise the code paths, skip the statistical claims).
+_SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") == "1"
 
 
 def test_micro_ed25519_sign(benchmark):
@@ -39,6 +44,91 @@ def test_micro_ed25519_verify(benchmark):
 
     verify_uncached.counter = 0
     benchmark(verify_uncached)
+
+
+def test_micro_ed25519_batch_verify(benchmark):
+    """The PR-4 cost-center attack, quantified.
+
+    Three implementations over the same honestly-signed items:
+
+    - ``reference``: the seed-era verify (two independent scalar
+      multiplications), kept in the module as ``_verify_reference``;
+    - ``wnaf``: the current single-verify fast path (Straus/Shamir
+      interleaved double-scalar multiplication with wNAF recoding);
+    - ``batch-N``: ``verify_batch`` at batch sizes 1/8/32/128
+      (random-linear-combination combined check).
+
+    The verify cache is cleared between measurements so every number is
+    curve math, not memoized verdicts.  Batches are measured twice: cold
+    (point cache also cleared — every signer key pays decompression and
+    table build) and steady-state (point cache warm — the chain workload,
+    where a fixed validator set and recurring clients sign repeatedly).
+    The steady-state batch-32 per-signature speedup over the reference
+    is the acceptance bar for this optimisation (>= 2.5x).
+    """
+    sizes = (1, 8) if _SMOKE else (1, 8, 32, 128)
+    reps = 1 if _SMOKE else 3
+    n_items = max(sizes)
+    items = []
+    for i in range(n_items):
+        seed = bytes([i % 251]) + bytes(31)
+        pk = ed25519.generate_public_key(seed)
+        msg = f"article-{i}".encode()
+        items.append((pk, msg, ed25519.sign(seed, msg)))
+
+    def _time_per_sig(fn, count, warm_points=False):
+        best = float("inf")
+        for _ in range(reps):
+            ed25519.verify_cache_clear()
+            if not warm_points:
+                ed25519.point_cache_clear()
+            start = time.perf_counter()
+            fn()
+            best = min(best, (time.perf_counter() - start) / count)
+        return best * 1e3  # ms per signature
+
+    ref_n = min(8, n_items) if _SMOKE else 32
+    ref_ms = _time_per_sig(
+        lambda: [ed25519._verify_reference(*item) for item in items[:ref_n]], ref_n
+    )
+    wnaf_ms = _time_per_sig(
+        lambda: [ed25519.verify(*item) for item in items[:ref_n]], ref_n
+    )
+    batch_cold = {
+        size: _time_per_sig(lambda s=size: ed25519.verify_batch(items[:s]), size)
+        for size in sizes
+    }
+    ed25519.verify_batch(items)  # warm the point cache for steady-state rows
+    batch_warm = {
+        size: _time_per_sig(lambda s=size: ed25519.verify_batch(items[:s]), size,
+                            warm_points=True)
+        for size in sizes
+    }
+    assert ed25519.batch_stats()["bisections"] == 0  # honest items never bisect
+
+    rows = [f"{'impl':<16} {'ms/sig':>8} {'speedup':>8}",
+            f"{'reference':<16} {ref_ms:>8.3f} {'1.00x':>8}",
+            f"{'wnaf':<16} {wnaf_ms:>8.3f} {ref_ms / wnaf_ms:>7.2f}x"]
+    metrics = {"reference_ms_per_sig": ref_ms, "wnaf_ms_per_sig": wnaf_ms,
+               "wnaf_speedup": ref_ms / wnaf_ms}
+    for label, table, suffix in (("cold", batch_cold, "_cold"),
+                                 ("warm", batch_warm, "")):
+        for size in sizes:
+            speedup = ref_ms / table[size]
+            rows.append(f"{f'batch-{size}-{label}':<16} {table[size]:>8.3f} "
+                        f"{speedup:>7.2f}x")
+            metrics[f"batch{size}{suffix}_ms_per_sig"] = table[size]
+            metrics[f"batch{size}{suffix}_speedup"] = speedup
+    emit(benchmark, "micro — ed25519 verify: reference vs wNAF vs batched",
+         rows, metrics=metrics)
+
+    assert ref_ms / wnaf_ms > 1.0  # wNAF single verify must beat the seed
+    if not _SMOKE:
+        assert ref_ms / batch_warm[32] >= 2.5  # PR acceptance criterion
+        assert ref_ms / batch_cold[32] >= 1.8  # cold path still a clear win
+    ed25519.verify_cache_clear()
+    ed25519.point_cache_clear()
+    benchmark(lambda: (ed25519.verify_cache_clear(), ed25519.verify_batch(items[:8])))
 
 
 def test_micro_localchain_invoke(benchmark):

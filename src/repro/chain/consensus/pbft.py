@@ -18,11 +18,17 @@ Simplifications relative to Castro & Liskov, documented here because
 they matter when reading experiment results:
 
 - Channels are authenticated by the simulator (a message's ``src`` is
-  trusted), so per-message signatures and the new-view proof are elided;
-  commit certificates carry sender sets instead.  Certificate *contents*
-  are therefore trusted the same way ``src`` is: a node that fabricates
-  validator names inside a ``pbft-committed`` payload is spoofing
-  identities, which is outside the threat model.
+  trusted), so pre-prepare/prepare/view-change signatures and the
+  new-view proof are elided.  **Commit votes, however, are Ed25519
+  signed** when the replica knows the voter's key (the network registers
+  a validator-key directory via :meth:`PBFTEngine.register_validator_keys`):
+  a commit from a known validator is dropped unless its signature over
+  ``pbft-commit|node_id|height|digest`` verifies, and the stored commit
+  certificate keeps the signatures alongside the name set — so
+  sync-served certificates are *cryptographically* checkable
+  (batch-verified in :meth:`verify_synced_block`), not merely name-set
+  checkable.  Votes from senders with no registered key fall back to
+  channel authentication (standalone engines in unit tests run keyless).
 - **Validator membership is enforced on every vote**: prepares, commits,
   and view-change votes are dropped unless ``src`` is in the engine's
   validator set, and a replica that is not itself a validator (a late
@@ -54,9 +60,16 @@ from typing import Any
 
 from repro.chain.block import Block
 from repro.chain.consensus.base import ConsensusEngine
+from repro.crypto.batch import verify_many
+from repro.crypto.keys import verify_signature
 from repro.simnet.network import Message
 
 __all__ = ["PBFTEngine"]
+
+
+def _vote_message(node_id: str, height: int, digest: str) -> bytes:
+    """Canonical byte string a signed commit vote covers."""
+    return f"pbft-commit|{node_id}|{height}|{digest}".encode()
 
 _PRE_PREPARE = "pbft-pre-prepare"
 _PREPARE = "pbft-prepare"
@@ -73,6 +86,9 @@ class _Round:
     block: Block | None = None
     prepares: set[str] = field(default_factory=set)
     commits: set[str] = field(default_factory=set)
+    #: signer -> verified commit-vote signature (only for voters whose
+    #: key is registered; keyless votes appear in ``commits`` alone).
+    commit_sigs: dict[str, bytes] = field(default_factory=dict)
     sent_prepare: bool = False
     sent_commit: bool = False
     #: Sim time this replica first saw the pre-prepare, for the
@@ -120,9 +136,25 @@ class PBFTEngine(ConsensusEngine):
         self._timer_event = None
         self.view_changes_completed = 0
         self.votes_rejected_nonvalidator = 0
+        self.votes_rejected_bad_signature = 0
+        #: validator id -> Ed25519 public key.  Registered by
+        #: :class:`~repro.chain.network.BlockchainNetwork`; when a
+        #: voter's key is here its commit votes MUST carry a valid
+        #: signature.  Empty for standalone engines (unit tests), which
+        #: then run on channel authentication alone, as the seed did.
+        self.validator_keys: dict[str, bytes] = {}
         #: height -> (digest, sorted certificate) for every block this
         #: replica committed, read by the invariant auditor.
         self.commit_certificates: dict[int, tuple[str, tuple[str, ...]]] = {}
+        #: height -> {signer: vote signature hex}, parallel to
+        #: ``commit_certificates`` (kept separate so the auditor's
+        #: certificate shape is unchanged); pruned together with it.
+        self.commit_signatures: dict[int, dict[str, str]] = {}
+
+    def register_validator_keys(self, keys: dict[str, bytes]) -> None:
+        """Install the validator public-key directory (enables signed
+        commit votes and cryptographic certificate verification)."""
+        self.validator_keys.update(keys)
 
     # -- helpers -----------------------------------------------------------
 
@@ -159,6 +191,25 @@ class PBFTEngine(ConsensusEngine):
             self.peer.obs.counter(
                 "pbft.votes_rejected_nonvalidator", peer=self.peer.node_id
             ).inc()
+
+    def _reject_bad_signature(self) -> None:
+        self.votes_rejected_bad_signature += 1
+        if self.peer is not None:
+            self.peer.obs.counter(
+                "pbft.votes_rejected_bad_signature", peer=self.peer.node_id
+            ).inc()
+
+    def _check_vote_signature(
+        self, src: str, height: int, digest: str, signature: Any
+    ) -> bool:
+        """Valid iff *src* has no registered key (channel auth) or the
+        signature over the canonical vote message verifies."""
+        key = self.validator_keys.get(src)
+        if key is None:
+            return True
+        if not isinstance(signature, (bytes, bytearray)):
+            return False
+        return verify_signature(key, _vote_message(src, height, digest), bytes(signature))
 
     def _is_validator(self) -> bool:
         """Does *this* replica vote?  Observer peers follow, silently."""
@@ -290,11 +341,16 @@ class PBFTEngine(ConsensusEngine):
         state.prepares.add(src)
         self._maybe_advance(view, height)
 
-    def _on_commit(self, view: int, height: int, digest: str, src: str) -> None:
+    def _on_commit(
+        self, view: int, height: int, digest: str, src: str, signature: Any = None
+    ) -> None:
         assert self.peer is not None
         if not self._member(src):
             self._reject_nonvalidator()
             return  # only validators vote toward quorums
+        if not self._check_vote_signature(src, height, digest, signature):
+            self._reject_bad_signature()
+            return  # known validator, bad/absent signature: forged vote
         if height > self.peer.ledger.height + 1:
             self.peer.sync.note_remote_height(src, height - 1)
         if not self._in_window(view, height):
@@ -303,6 +359,8 @@ class PBFTEngine(ConsensusEngine):
         if state.digest is not None and digest != state.digest:
             return
         state.commits.add(src)
+        if isinstance(signature, (bytes, bytearray)) and src in self.validator_keys:
+            state.commit_sigs[src] = bytes(signature)
         self._maybe_advance(view, height)
 
     def _maybe_advance(self, view: int, height: int) -> None:
@@ -318,7 +376,14 @@ class PBFTEngine(ConsensusEngine):
         ):
             state.sent_commit = True
             state.commits.add(peer.node_id)
-            peer.broadcast(_COMMIT, {"view": view, "height": height, "digest": state.digest})
+            vote = {"view": view, "height": height, "digest": state.digest}
+            if peer.node_id in self.validator_keys:
+                signature = peer.keypair.sign(
+                    _vote_message(peer.node_id, height, state.digest)
+                )
+                state.commit_sigs[peer.node_id] = signature
+                vote["signature"] = signature
+            peer.broadcast(_COMMIT, vote)
         if (
             state.sent_commit
             and state.block is not None
@@ -332,19 +397,36 @@ class PBFTEngine(ConsensusEngine):
                 peer.obs.histogram("pbft.round", peer=peer.node_id).observe(
                     peer.sim.now - state.started_at
                 )
-            self._record_certificate(height, state.digest, certificate)
+            signatures = {
+                signer: sig.hex()
+                for signer, sig in state.commit_sigs.items()
+                if signer in state.commits
+            }
+            self._record_certificate(height, state.digest, certificate, signatures)
             self._cleanup_height(height)
             peer.commit_block(block)
-            peer.broadcast(_COMMITTED, {"block": block, "certificate": certificate})
+            peer.broadcast(
+                _COMMITTED,
+                {"block": block, "certificate": certificate, "signatures": signatures},
+            )
             self._timer_height = peer.ledger.height
             self._arm_view_timer()
 
-    def _record_certificate(self, height: int, digest: str, certificate: list[str]) -> None:
+    def _record_certificate(
+        self,
+        height: int,
+        digest: str,
+        certificate: list[str],
+        signatures: dict[str, str] | None = None,
+    ) -> None:
         self.commit_certificates[height] = (digest, tuple(certificate))
+        if signatures:
+            self.commit_signatures[height] = dict(signatures)
         floor = height - self.CERTIFICATE_HISTORY
         if floor > 0 and (height % 1000) == 0:
             for old in [h for h in self.commit_certificates if h < floor]:
                 del self.commit_certificates[old]
+                self.commit_signatures.pop(old, None)
 
     def _cleanup_height(self, height: int) -> None:
         for key in [k for k in self._rounds if k[1] <= height]:
@@ -435,7 +517,13 @@ class PBFTEngine(ConsensusEngine):
 
     # -- sync -------------------------------------------------------------------
 
-    def _on_committed(self, block: Block, certificate: list[str], src: str) -> None:
+    def _on_committed(
+        self,
+        block: Block,
+        certificate: list[str],
+        src: str,
+        signatures: dict[str, str] | None = None,
+    ) -> None:
         """A peer announced a committed block with its certificate.
 
         Everything beyond the quick quorum pre-filter is delegated to the
@@ -450,21 +538,82 @@ class PBFTEngine(ConsensusEngine):
         valid_signers = {signer for signer in certificate if signer in self._validator_set}
         if len(valid_signers) < self.quorum:
             return
-        peer.sync.offer_block(block, list(certificate), src=src)
+        proof: Any = list(certificate)
+        if signatures:
+            proof = {"signers": list(certificate), "signatures": dict(signatures)}
+        peer.sync.offer_block(block, proof, src=src)
+
+    @staticmethod
+    def _proof_parts(proof: Any) -> tuple[list[str], dict[str, str]] | None:
+        """Normalize a certificate proof: legacy name list/tuple or the
+        dict form ``{"signers": [...], "signatures": {name: hex}}``."""
+        if isinstance(proof, dict):
+            signers = proof.get("signers")
+            signatures = proof.get("signatures") or {}
+            if not isinstance(signers, (list, tuple)) or not isinstance(signatures, dict):
+                return None
+            return list(signers), dict(signatures)
+        if isinstance(proof, (list, tuple)):
+            return list(proof), {}
+        return None
 
     def verify_synced_block(self, block: Block, proof: Any) -> bool:
-        """A fetched block needs a 2f+1-distinct-validator certificate."""
-        if not isinstance(proof, (list, tuple)):
-            return False
-        return len(set(proof) & self._validator_set) >= self.quorum
+        """A fetched block needs a 2f+1-distinct-validator certificate.
 
-    def sync_proof(self, height: int) -> list[str] | None:
-        """Serve the stored commit certificate alongside the block."""
+        Signers whose key is registered only count when their Ed25519
+        vote signature over this block's (height, hash) verifies — all
+        such signatures are checked in ONE batched call.  Signers with no
+        registered key fall back to the name-set check (legacy proofs,
+        keyless unit-test engines).
+        """
+        parts = self._proof_parts(proof)
+        if parts is None:
+            return False
+        signers, signatures = parts
+        counted: set[str] = set()
+        items: list[tuple[bytes, bytes, bytes]] = []
+        item_signers: list[str] = []
+        for signer in sorted(set(signers) & self._validator_set):
+            key = self.validator_keys.get(signer)
+            if key is None:
+                counted.add(signer)
+                continue
+            sig_hex = signatures.get(signer)
+            try:
+                sig = bytes.fromhex(sig_hex) if isinstance(sig_hex, str) else None
+            except ValueError:
+                sig = None
+            if sig is None:
+                continue  # known validator, no usable signature: not counted
+            items.append((key, _vote_message(signer, block.height, block.block_hash), sig))
+            item_signers.append(signer)
+        if items:
+            labels = {"peer": self.peer.node_id} if self.peer is not None else {}
+            registry = self.peer.obs if self.peer is not None else None
+            verdicts = verify_many(items, registry=registry, **labels)
+            counted.update(s for s, ok in zip(item_signers, verdicts) if ok)
+        return len(counted) >= self.quorum
+
+    def sync_proof(self, height: int) -> Any:
+        """Serve the stored commit certificate alongside the block —
+        dict form when vote signatures were recorded, legacy name list
+        otherwise."""
         entry = self.commit_certificates.get(height)
-        return list(entry[1]) if entry is not None else None
+        if entry is None:
+            return None
+        signatures = self.commit_signatures.get(height)
+        if signatures:
+            return {"signers": list(entry[1]), "signatures": dict(signatures)}
+        return list(entry[1])
 
     def on_synced_block(self, block: Block, proof: Any) -> None:
-        self._record_certificate(block.height, block.block_hash, sorted(proof))
+        parts = self._proof_parts(proof)
+        if parts is None:
+            return
+        signers, signatures = parts
+        self._record_certificate(
+            block.height, block.block_hash, sorted(signers), signatures
+        )
         self._cleanup_height(block.height)
 
     def on_restart(self) -> None:
@@ -492,11 +641,17 @@ class PBFTEngine(ConsensusEngine):
         elif message.kind == _PREPARE:
             self._on_prepare(payload["view"], payload["height"], payload["digest"], message.src)
         elif message.kind == _COMMIT:
-            self._on_commit(payload["view"], payload["height"], payload["digest"], message.src)
+            self._on_commit(
+                payload["view"], payload["height"], payload["digest"], message.src,
+                payload.get("signature"),
+            )
         elif message.kind == _VIEW_CHANGE:
             self._vote_view_change(payload["new_view"], message.src)
         elif message.kind == _COMMITTED:
-            self._on_committed(payload["block"], payload["certificate"], message.src)
+            self._on_committed(
+                payload["block"], payload["certificate"], message.src,
+                payload.get("signatures"),
+            )
         else:
             return False
         return True

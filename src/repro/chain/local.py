@@ -23,7 +23,14 @@ from repro.chain.block import Block
 from repro.chain.contracts import Contract, ContractRegistry, EndorsementPolicy, check_endorsements
 from repro.chain.ledger import Ledger
 from repro.chain.state import WorldState
-from repro.chain.transaction import Endorsement, Transaction, TxReceipt, rwset_digest
+from repro.chain.transaction import (
+    Endorsement,
+    Transaction,
+    TxReceipt,
+    rwset_digest,
+    signature_items,
+)
+from repro.crypto.batch import batch_verification_enabled, verify_many
 from repro.crypto.keys import KeyPair
 from repro.errors import ContractError
 from repro.chain.consensus.sharded import ShardedExecutor
@@ -115,6 +122,10 @@ class LocalChain:
             proposer=self.node_id,
             transactions=txs,
         )
+        if batch_verification_enabled() and txs:
+            # Warm the verify cache for the whole batch; the unchanged
+            # per-transaction checks below then hit it.
+            verify_many(signature_items(txs))
         validity: list[bool] = []
         receipts: list[TxReceipt] = []
         valid_txs: list[Transaction] = []

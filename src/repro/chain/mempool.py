@@ -8,6 +8,7 @@ memory growth.
 from __future__ import annotations
 
 from collections import OrderedDict
+from typing import Iterable
 
 from repro.chain.transaction import Transaction
 from repro.errors import ChainError
@@ -49,8 +50,12 @@ class Mempool:
         """The pending transactions, in FIFO order, without removing them."""
         return list(self._pending.values())
 
-    def remove(self, tx_ids: list[str]) -> None:
-        """Drop transactions that were committed via someone else's block."""
+    def remove(self, tx_ids: Iterable[str]) -> None:
+        """Drop transactions that were committed via someone else's block.
+
+        Accepts any iterable (consensus callers pass generators), and
+        consumes it exactly once.
+        """
         for tx_id in tx_ids:
             self._pending.pop(tx_id, None)
 

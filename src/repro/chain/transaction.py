@@ -25,7 +25,14 @@ from repro.crypto.hashing import hash_json, sha256_hex
 from repro.crypto.keys import KeyPair, address_from_public_key, verify_signature
 from repro.errors import InvalidTransactionError
 
-__all__ = ["Transaction", "Endorsement", "ReadSet", "WriteSet", "TxReceipt"]
+__all__ = [
+    "Transaction",
+    "Endorsement",
+    "ReadSet",
+    "WriteSet",
+    "TxReceipt",
+    "signature_items",
+]
 
 # A read set maps key -> version observed during simulated execution.
 ReadSet = dict[str, int]
@@ -62,13 +69,21 @@ class Endorsement:
     signature_hex: str
 
     def verify(self, tx_id: str) -> bool:
-        message = f"{tx_id}:{self.digest}".encode("utf-8")
+        item = self.signature_item(tx_id)
+        if item is None:
+            return False
+        return verify_signature(*item)
+
+    def signature_item(self, tx_id: str) -> tuple[bytes, bytes, bytes] | None:
+        """The ``(public_key, message, signature)`` triple :meth:`verify`
+        checks, for batch verification; ``None`` if the hex fields don't
+        decode (in which case :meth:`verify` is ``False`` anyway)."""
         try:
             public_key = bytes.fromhex(self.public_key_hex)
             signature = bytes.fromhex(self.signature_hex)
         except ValueError:
-            return False
-        return verify_signature(public_key, message, signature)
+            return None
+        return (public_key, f"{tx_id}:{self.digest}".encode("utf-8"), signature)
 
     @classmethod
     def create(cls, keypair: KeyPair, peer_id: str, tx_id: str, digest: str) -> "Endorsement":
@@ -127,19 +142,30 @@ class Transaction:
 
     def verify_signature(self) -> bool:
         """Check the client signature and that sender matches the key."""
+        item = self.signature_item()
+        if item is None:
+            return False
+        public_key, payload, signature = item
+        if address_from_public_key(public_key) != self.sender:
+            return False
+        if sha256_hex(payload) != self.tx_id:
+            return False
+        return verify_signature(public_key, payload, signature)
+
+    def signature_item(self) -> tuple[bytes, bytes, bytes] | None:
+        """The client-signature ``(public_key, message, signature)``
+        triple, for batch verification; ``None`` if the hex fields don't
+        decode.  Address/tx-id binding is NOT checked here — those are
+        cheap equality checks :meth:`verify_signature` still performs."""
         try:
             public_key = bytes.fromhex(self.public_key_hex)
             signature = bytes.fromhex(self.signature_hex)
         except ValueError:
-            return False
-        if address_from_public_key(public_key) != self.sender:
-            return False
+            return None
         payload = _proposal_payload(
             self.sender, self.contract, self.method, self.args, self.nonce, self.timestamp
         )
-        if sha256_hex(payload) != self.tx_id:
-            return False
-        return verify_signature(public_key, payload, signature)
+        return (public_key, payload, signature)
 
     def validate_structure(self) -> None:
         """Raise :class:`InvalidTransactionError` on a malformed tx."""
@@ -169,6 +195,25 @@ class Transaction:
     @property
     def rwset_digest(self) -> str:
         return rwset_digest(self.read_set, self.write_set)
+
+
+def signature_items(txs: "list[Transaction] | tuple[Transaction, ...]") -> list[tuple[bytes, bytes, bytes]]:
+    """Every signature a validator will check across *txs* — each client
+    proposal signature plus every endorsement signature — as raw
+    ``(public_key, message, signature)`` triples ready for
+    :func:`repro.crypto.verify_many`.  Undecodable hex fields are
+    skipped; the per-transaction checks reject those without ever
+    reaching a curve operation."""
+    items: list[tuple[bytes, bytes, bytes]] = []
+    for tx in txs:
+        item = tx.signature_item()
+        if item is not None:
+            items.append(item)
+        for endorsement in tx.endorsements:
+            item = endorsement.signature_item(tx.tx_id)
+            if item is not None:
+                items.append(item)
+    return items
 
 
 @dataclass(frozen=True)

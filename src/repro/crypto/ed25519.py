@@ -3,14 +3,29 @@
 Implemented from scratch on top of ``hashlib.sha512`` so the blockchain
 substrate has no dependency on external crypto packages.  Points are kept
 in extended homogeneous coordinates (X, Y, Z, T) for efficient addition
-and doubling; scalar multiplication is a simple double-and-add, which is
-plenty for a simulator (signing/verifying a few thousand transactions).
+and doubling.  Scalar multiplication is *not* naive double-and-add:
+
+- **fixed-base** multiplications (signing, key generation) walk a 4-bit
+  windowed table of base-point multiples built once at import, so
+  ``s*G`` is at most 63 point additions with no doublings;
+- **verification** evaluates ``s*G - h*A`` in a single Straus/Shamir
+  interleaved double-scalar pass: one shared doubling ladder with wNAF
+  (width-w non-adjacent form) digit recoding, a precomputed wNAF table
+  of odd base-point multiples, and a per-key table of odd multiples of
+  ``-A`` kept in a bounded cache so repeat signers skip both point
+  decompression and table construction;
+- **batch verification** (:func:`verify_batch`) checks a whole block's
+  signatures at once via Bernstein-style random linear combination — one
+  multi-scalar multiplication with deterministic (hash-derived, odd)
+  128-bit coefficients — and bisects to per-signature verification when
+  the combined check fails, so verdicts always match :func:`verify`.
 
 This module deliberately exposes only the byte-level API:
 
 - :func:`generate_public_key` — 32-byte seed -> 32-byte public key
 - :func:`sign` — (seed, message) -> 64-byte signature
 - :func:`verify` — (public key, message, signature) -> bool
+- :func:`verify_batch` — list of (public key, message, signature) -> list of bool
 
 Key management lives in :mod:`repro.crypto.keys`.
 """
@@ -25,8 +40,13 @@ __all__ = [
     "generate_public_key",
     "sign",
     "verify",
+    "verify_batch",
     "verify_cache_stats",
     "verify_cache_clear",
+    "point_cache_stats",
+    "point_cache_clear",
+    "batch_stats",
+    "batch_stats_clear",
     "SEED_BYTES",
     "SIG_BYTES",
 ]
@@ -87,6 +107,26 @@ def _point_add(p: _Point, q: _Point) -> _Point:
     return (e * f % _P, g * h % _P, f * g % _P, e * h % _P)
 
 
+def _point_double(p: _Point) -> _Point:
+    # dbl-2008-hwcd for a = -1 twisted Edwards: 4M + 4S, cheaper than the
+    # unified addition (9M) — and the verification ladders below are
+    # doubling-dominated, so this is the single hottest function here.
+    x1, y1, z1, _ = p
+    a = x1 * x1 % _P
+    b = y1 * y1 % _P
+    c = 2 * z1 * z1 % _P
+    h = a + b
+    e = h - (x1 + y1) * (x1 + y1) % _P
+    g = a - b
+    f = c + g
+    return (e * f % _P, g * h % _P, f * g % _P, e * h % _P)
+
+
+def _point_neg(p: _Point) -> _Point:
+    x, y, z, t = p
+    return (-x % _P, y, z, -t % _P)
+
+
 def _point_mul(s: int, p: _Point) -> _Point:
     q = _IDENTITY
     while s > 0:
@@ -135,6 +175,82 @@ def _point_mul_base(s: int) -> _Point:
             q = _point_add(q, _BASE_TABLE[window][digit])
         s >>= _WINDOW_BITS
         window += 1
+    return q
+
+
+# -- wNAF double/multi-scalar multiplication ---------------------------------
+#
+# Verification is a *variable-base* problem (``h * A`` for an arbitrary
+# public key ``A``), so the fixed-base table above does not apply.  The
+# classic answer is Straus/Shamir interleaving: recode every scalar in
+# width-w non-adjacent form (wNAF: signed odd digits, at most one nonzero
+# digit per w consecutive bits), then run ONE shared doubling ladder and
+# add the precomputed odd multiple named by each scalar's digit as it
+# goes by.  k scalars cost ~256 shared doublings + k * 256/(w+1)
+# additions instead of k * (256 doublings + 128 additions).
+
+_WNAF_VAR_W = 5   # variable-base window: 16 odd multiples per point
+_WNAF_RLC_W = 4   # 128-bit batch coefficients: 8 odd multiples per point
+_WNAF_BASE_W = 7  # fixed-base window: 64 odd multiples of G, built once
+
+
+def _wnaf_digits(scalar: int, width: int) -> list[int]:
+    """Width-*width* NAF recoding, least-significant digit first.
+
+    Every digit is zero or odd with ``|digit| < 2**(width-1) * 2``; after
+    a nonzero digit the next ``width - 1`` digits are zero, which is what
+    makes the interleaved ladder cheap.
+    """
+    digits: list[int] = []
+    window = 1 << width
+    half = window >> 1
+    while scalar > 0:
+        if scalar & 1:
+            digit = scalar & (window - 1)
+            if digit >= half:
+                digit -= window
+            scalar -= digit
+            digits.append(digit)
+        else:
+            digits.append(0)
+        scalar >>= 1
+    return digits
+
+
+def _odd_multiples(p: _Point, count: int) -> tuple[_Point, ...]:
+    """``(1*p, 3*p, 5*p, ..., (2*count-1)*p)`` — a wNAF digit table."""
+    double = _point_double(p)
+    table = [p]
+    for _ in range(count - 1):
+        table.append(_point_add(table[-1], double))
+    return tuple(table)
+
+
+_G_WNAF = _odd_multiples(_G, 1 << (_WNAF_BASE_W - 1))
+
+
+def _straus(terms: list[tuple[list[int], tuple[_Point, ...]]]) -> _Point:
+    """Interleaved multi-scalar multiplication.
+
+    *terms* pairs a wNAF digit list with a table of odd multiples of its
+    point; returns ``sum(scalar_i * point_i)`` with one shared doubling
+    ladder.  Negative digits use on-the-fly point negation (free in
+    twisted Edwards coordinates).
+    """
+    q = _IDENTITY
+    top = 0
+    for digits, _ in terms:
+        if len(digits) > top:
+            top = len(digits)
+    for i in range(top - 1, -1, -1):
+        q = _point_double(q)
+        for digits, table in terms:
+            if i < len(digits):
+                digit = digits[i]
+                if digit > 0:
+                    q = _point_add(q, table[digit >> 1])
+                elif digit < 0:
+                    q = _point_add(q, _point_neg(table[(-digit) >> 1]))
     return q
 
 
@@ -249,9 +365,7 @@ def verify(public_key: bytes, message: bytes, signature: bytes) -> bool:
         return cached
     _cache_misses += 1
     result = _verify_uncached(public_key, message, signature)
-    if len(_VERIFY_CACHE) >= VERIFY_CACHE_MAX:
-        _evict_oldest()
-    _VERIFY_CACHE[key] = result
+    _cache_store(key, result)
     return result
 
 
@@ -262,7 +376,100 @@ def _evict_oldest() -> None:
     _cache_evictions += 1
 
 
+def _cache_store(key: bytes, result: bool) -> None:
+    if len(_VERIFY_CACHE) >= VERIFY_CACHE_MAX:
+        _evict_oldest()
+    _VERIFY_CACHE[key] = result
+
+
+# -- decompressed public-key point cache -------------------------------------
+#
+# Decompressing a public key costs two field exponentiations (~0.65 ms
+# here) and the wNAF table of odd multiples of ``-A`` costs another
+# ~16 point ops — but the simulator's signer population is tiny and
+# every block re-verifies the same few keys.  A bounded FIFO cache of
+# (decompressed A, odd-multiples table) makes repeat signers skip both.
+
+_POINT_CACHE: dict[bytes, tuple[_Point, tuple[_Point, ...]]] = {}
+#: Entry cap; each entry holds 17 points (~4 KB), so the default bounds
+#: the cache near 16 MB.  Tests may shrink this.
+POINT_CACHE_MAX = 4096
+
+_point_hits = 0
+_point_misses = 0
+_point_evictions = 0
+
+
+def point_cache_stats() -> dict[str, int]:
+    """Hit/miss/eviction counters plus current size, matching the shape
+    of :func:`verify_cache_stats`."""
+    return {
+        "hits": _point_hits,
+        "misses": _point_misses,
+        "evictions": _point_evictions,
+        "size": len(_POINT_CACHE),
+    }
+
+
+def point_cache_clear() -> None:
+    """Reset the decompressed-point cache and its counters."""
+    global _point_hits, _point_misses, _point_evictions
+    _POINT_CACHE.clear()
+    _point_hits = _point_misses = _point_evictions = 0
+
+
+def _point_cache_get(public_key: bytes) -> tuple[_Point, tuple[_Point, ...]] | None:
+    """Decompressed ``A`` plus odd multiples of ``-A``, or ``None`` if
+    *public_key* is not a valid point encoding (not cached: the verify
+    cache already memoizes the ``False`` verdict per signature)."""
+    global _point_hits, _point_misses, _point_evictions
+    entry = _POINT_CACHE.get(public_key)
+    if entry is not None:
+        _point_hits += 1
+        return entry
+    try:
+        a_point = _point_decompress(public_key)
+    except CryptoError:
+        return None
+    _point_misses += 1
+    table = _odd_multiples(_point_neg(a_point), 1 << (_WNAF_VAR_W - 1))
+    if len(_POINT_CACHE) >= POINT_CACHE_MAX:
+        oldest = next(iter(_POINT_CACHE))
+        del _POINT_CACHE[oldest]
+        _point_evictions += 1
+    _POINT_CACHE[public_key] = (a_point, table)
+    return (a_point, table)
+
+
 def _verify_uncached(public_key: bytes, message: bytes, signature: bytes) -> bool:
+    """Single-signature fast path: ``s*G - h*A == R`` in one interleaved
+    Straus/Shamir wNAF pass (one shared doubling ladder) instead of two
+    independent scalar multiplications."""
+    entry = _point_cache_get(public_key)
+    if entry is None:
+        return False
+    try:
+        r_point = _point_decompress(signature[:32])
+    except CryptoError:
+        return False
+    s = int.from_bytes(signature[32:], "little")
+    if s >= _L:
+        return False
+    h = int.from_bytes(_sha512(signature[:32] + public_key + message), "little") % _L
+    combined = _straus([
+        (_wnaf_digits(s, _WNAF_BASE_W), _G_WNAF),
+        (_wnaf_digits(h, _WNAF_VAR_W), entry[1]),
+    ])
+    return _point_equal(combined, r_point)
+
+
+def _verify_reference(public_key: bytes, message: bytes, signature: bytes) -> bool:
+    """The seed-era verification path (two independent scalar mults,
+    naive double-and-add for ``h*A``).  Kept as the oracle for property
+    tests and as the baseline the micro-benchmark measures speedups
+    against; not used by :func:`verify`."""
+    if len(public_key) != 32 or len(signature) != SIG_BYTES:
+        return False
     try:
         a_point = _point_decompress(public_key)
         r_point = _point_decompress(signature[:32])
@@ -275,3 +482,155 @@ def _verify_uncached(public_key: bytes, message: bytes, signature: bytes) -> boo
     left = _point_mul_base(s)
     right = _point_add(r_point, _point_mul(h, a_point))
     return _point_equal(left, right)
+
+
+# -- batch verification ------------------------------------------------------
+#
+# Bernstein-style random-linear-combination batching: instead of n
+# separate ``s_i*G - h_i*A_i - R_i == 0`` checks, verify
+#
+#     sum_i z_i * (s_i*G - h_i*A_i - R_i) == identity
+#
+# as ONE multi-scalar multiplication — all n checks share a single
+# doubling ladder, so the per-signature cost collapses to the wNAF
+# additions.  Correctness notes, because the details are sharp:
+#
+# - The coefficients ``z_i`` are derived deterministically (sha512 over
+#   the whole batch's digest keys — no ``random``, so replays are
+#   reproducible) and forced to be ODD 128-bit values.  Odd z is
+#   invertible mod 8, so a single signature whose defect is a
+#   small-order (torsion) point can never be masked: ``z*T`` has the
+#   same order as ``T``.
+# - The scalar on G may be reduced mod L (G generates the prime-order
+#   subgroup), but scalars on arbitrary points A_i / R_i may only be
+#   reduced mod 8L (the full group exponent): adversarial keys and R
+#   values need not lie in the prime-order subgroup, and reducing mod L
+#   would silently change the check for them.  For the same reason the
+#   combination subtracts by negating the *points* (tables hold odd
+#   multiples of -A and -R), never by negating scalars mod L.
+# - If the combined check fails, divide-and-conquer bisection re-checks
+#   each half, recursing down to single signatures — verdicts therefore
+#   always agree with :func:`verify`.  (A false *accept* would need
+#   either a ~2^-128 scalar collision or multiple adversarial
+#   signatures whose torsion defects cancel each other; no false
+#   rejects are possible since valid signatures contribute exactly the
+#   identity.)
+
+_8L = 8 * _L
+
+_batch_calls = 0
+_batch_items = 0
+_batch_bisections = 0
+
+
+def batch_stats() -> dict[str, int]:
+    """Counters for the obs registry: batch calls, total items, and how
+    many times the combined check failed and had to bisect."""
+    return {
+        "calls": _batch_calls,
+        "items": _batch_items,
+        "bisections": _batch_bisections,
+    }
+
+
+def batch_stats_clear() -> None:
+    """Reset the batch-verification counters."""
+    global _batch_calls, _batch_items, _batch_bisections
+    _batch_calls = _batch_items = _batch_bisections = 0
+
+
+# One pending (not-cached, well-formed) signature: the verify-cache
+# digest key, the scalars s and h, the wNAF tables for -A and -R, and
+# the decompressed R for the single-signature base case.
+_BatchEntry = tuple[bytes, int, int, tuple[_Point, ...], tuple[_Point, ...], _Point]
+
+
+def _batch_coefficients(entries: list[_BatchEntry]) -> list[int]:
+    seed = _sha512(b"repro.ed25519.batch-v1" + b"".join(e[0] for e in entries))
+    zs: list[int] = []
+    for i in range(len(entries)):
+        z = int.from_bytes(
+            _sha512(seed + i.to_bytes(4, "little") + entries[i][0]), "little"
+        )
+        zs.append((z & ((1 << 128) - 1)) | 1)
+    return zs
+
+
+def _combined_check(entries: list[_BatchEntry]) -> bool:
+    g_scalar = 0
+    terms: list[tuple[list[int], tuple[_Point, ...]]] = []
+    for (_, s, h, neg_a_table, neg_r_table, _), z in zip(
+        entries, _batch_coefficients(entries)
+    ):
+        g_scalar += z * s
+        terms.append((_wnaf_digits(z * h % _8L, _WNAF_VAR_W), neg_a_table))
+        terms.append((_wnaf_digits(z, _WNAF_RLC_W), neg_r_table))
+    terms.insert(0, (_wnaf_digits(g_scalar % _L, _WNAF_BASE_W), _G_WNAF))
+    return _point_equal(_straus(terms), _IDENTITY)
+
+
+def _batch_verify_exact(entries: list[_BatchEntry]) -> list[bool]:
+    global _batch_bisections
+    if len(entries) == 1:
+        _, s, h, neg_a_table, _, r_point = entries[0]
+        combined = _straus([
+            (_wnaf_digits(s, _WNAF_BASE_W), _G_WNAF),
+            (_wnaf_digits(h, _WNAF_VAR_W), neg_a_table),
+        ])
+        return [_point_equal(combined, r_point)]
+    if _combined_check(entries):
+        return [True] * len(entries)
+    _batch_bisections += 1
+    mid = len(entries) // 2
+    return _batch_verify_exact(entries[:mid]) + _batch_verify_exact(entries[mid:])
+
+
+def verify_batch(items: list[tuple[bytes, bytes, bytes]]) -> list[bool]:
+    """Verify many ``(public_key, message, signature)`` triples at once.
+
+    Returns one bool per item, in order, with verdicts identical to
+    calling :func:`verify` on each — but the happy path costs one
+    multi-scalar multiplication for the whole batch instead of n
+    double-scalar ones.  Consults and populates the same bounded
+    digest-keyed cache as :func:`verify`, so a batch-verified block's
+    signatures are cache hits for every later per-transaction check.
+    """
+    global _cache_hits, _cache_misses, _batch_calls, _batch_items
+    _batch_calls += 1
+    _batch_items += len(items)
+    results: list[bool] = [False] * len(items)
+    pending: list[tuple[int, _BatchEntry]] = []
+    for pos, (public_key, message, signature) in enumerate(items):
+        if len(public_key) != 32 or len(signature) != SIG_BYTES:
+            continue  # malformed lengths bypass the cache, as in verify()
+        key = _sha512(public_key + message + signature)
+        cached = _VERIFY_CACHE.get(key)
+        if cached is not None:
+            _cache_hits += 1
+            results[pos] = cached
+            continue
+        _cache_misses += 1
+        entry = _point_cache_get(public_key)
+        if entry is None:
+            _cache_store(key, False)
+            continue
+        try:
+            r_point = _point_decompress(signature[:32])
+        except CryptoError:
+            _cache_store(key, False)
+            continue
+        s = int.from_bytes(signature[32:], "little")
+        if s >= _L:
+            _cache_store(key, False)
+            continue
+        h = int.from_bytes(
+            _sha512(signature[:32] + public_key + message), "little"
+        ) % _L
+        neg_r_table = _odd_multiples(_point_neg(r_point), 1 << (_WNAF_RLC_W - 1))
+        pending.append((pos, (key, s, h, entry[1], neg_r_table, r_point)))
+    if pending:
+        verdicts = _batch_verify_exact([entry for _, entry in pending])
+        for (pos, entry), verdict in zip(pending, verdicts):
+            _cache_store(entry[0], verdict)
+            results[pos] = verdict
+    return results

@@ -231,10 +231,19 @@ def append_perf_record(
 # -- crypto cache bridge ----------------------------------------------------
 
 def snapshot_crypto_cache(registry: MetricsRegistry) -> dict[str, int]:
-    """Mirror the Ed25519 verify-cache hit/miss stats into *registry*."""
+    """Mirror the Ed25519 cache and batching stats into *registry*.
+
+    The returned dict keeps the seed shape (the verify-cache stats);
+    point-cache and batch-verification counters ride along as extra
+    gauges only.
+    """
     from repro.crypto import ed25519
 
     stats = ed25519.verify_cache_stats()
     for key, value in stats.items():
         registry.gauge(f"crypto.verify_cache_{key}").set(value)
+    for key, value in ed25519.point_cache_stats().items():
+        registry.gauge(f"crypto.point_cache_{key}").set(value)
+    for key, value in ed25519.batch_stats().items():
+        registry.gauge(f"crypto.batch_{key}").set(value)
     return stats

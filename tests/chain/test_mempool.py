@@ -59,3 +59,55 @@ def test_remove_committed():
     pool.remove([txs[0].tx_id, txs[2].tx_id, "unknown"])
     assert len(pool) == 1
     assert txs[1].tx_id in pool
+
+
+def test_remove_accepts_any_iterable():
+    pool = Mempool()
+    txs = [_tx(i) for i in range(4)]
+    for tx in txs:
+        pool.add(tx)
+    # Generators are what the consensus layer actually passes.
+    pool.remove(tx.tx_id for tx in txs[:2])
+    assert len(pool) == 2
+    pool.remove({txs[2].tx_id})
+    assert len(pool) == 1
+    pool.remove(iter([txs[3].tx_id]))
+    assert len(pool) == 0
+
+
+def test_backpressure_recovers_after_take():
+    pool = Mempool(capacity=3)
+    txs = [_tx(i) for i in range(5)]
+    assert [pool.add(tx) for tx in txs[:4]] == [True, True, True, False]
+    assert pool.rejected_full == 1
+    # Draining frees capacity; admission resumes.
+    pool.take(2)
+    assert pool.add(txs[3])
+    assert pool.add(txs[4])
+    assert not pool.add(_tx(99))
+    assert pool.rejected_full == 2
+
+
+def test_fifo_preserved_across_remove():
+    pool = Mempool()
+    txs = [_tx(i) for i in range(5)]
+    for tx in txs:
+        pool.add(tx)
+    pool.remove([txs[1].tx_id, txs[3].tx_id])
+    batch = pool.take(10)
+    assert [t.tx_id for t in batch] == [txs[0].tx_id, txs[2].tx_id, txs[4].tx_id]
+
+
+def test_duplicate_counting_accumulates():
+    pool = Mempool()
+    tx_a, tx_b = _tx(1), _tx(2)
+    pool.add(tx_a)
+    pool.add(tx_b)
+    for _ in range(3):
+        assert not pool.add(tx_a)
+    assert not pool.add(tx_b)
+    assert pool.rejected_duplicate == 4
+    # Removal clears the dedup entry: the tx may be re-admitted.
+    pool.remove([tx_a.tx_id])
+    assert pool.add(tx_a)
+    assert pool.rejected_duplicate == 4

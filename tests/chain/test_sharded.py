@@ -1,10 +1,13 @@
 """Sharded parallel execution planning (ICDCS'18 substrate)."""
 
 import random
+import string
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
-from repro.chain.consensus.sharded import ShardedExecutor
+from repro.chain.consensus.sharded import ShardedExecutor, _shard_of
 from repro.chain.transaction import Transaction
 from repro.crypto import KeyPair
 
@@ -74,3 +77,62 @@ def test_more_shards_never_slower():
 def test_invalid_shard_count():
     with pytest.raises(ValueError):
         ShardedExecutor(n_shards=0)
+
+
+def test_shard_of_stable_and_in_range():
+    """Assignment is a pure function of (key, n_shards) — repeated calls
+    and repeated planner instances must agree, or cross-block accounting
+    would silently drift."""
+    rng = random.Random(7)
+    keys = ["".join(rng.choices(string.ascii_lowercase, k=12)) for _ in range(200)]
+    for n_shards in (1, 2, 4, 8, 16):
+        first = [_shard_of(k, n_shards) for k in keys]
+        second = [_shard_of(k, n_shards) for k in keys]
+        assert first == second
+        assert all(0 <= s < n_shards for s in first)
+    # With enough keys, every shard receives some traffic.
+    assert len({_shard_of(k, 4) for k in keys}) == 4
+
+
+def test_cross_shard_classification_matches_key_spans():
+    """A tx is cross-shard exactly when its read+write keys map to more
+    than one shard."""
+    executor = ShardedExecutor(n_shards=4)
+    rng = random.Random(11)
+    txs = []
+    expected_cross = 0
+    for i in range(20):
+        keys = ["".join(rng.choices(string.ascii_lowercase, k=8))
+                for _ in range(rng.randint(1, 4))]
+        txs.append(_tx(i, reads=tuple(keys[:-1]), writes=(keys[-1],)))
+        if len({_shard_of(k, 4) for k in keys}) > 1:
+            expected_cross += 1
+    schedule = executor.plan_block(txs)
+    assert schedule.cross_shard_count == expected_cross
+    assert schedule.local_count == len(txs) - expected_cross
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    spec=st.lists(
+        st.tuples(
+            st.lists(st.integers(min_value=0, max_value=30), max_size=4),  # reads
+            st.lists(st.integers(min_value=0, max_value=30), max_size=3),  # writes
+        ),
+        max_size=12,
+    ),
+    n_shards=st.integers(min_value=1, max_value=8),
+)
+def test_parallel_never_slower_than_sequential(spec, n_shards):
+    """Property: for any block, parallel makespan <= sequential makespan,
+    and the totals are conserved (every tx's gas lands somewhere)."""
+    txs = [
+        _tx(i, reads=tuple(f"k{r}" for r in reads), writes=tuple(f"k{w}" for w in writes))
+        for i, (reads, writes) in enumerate(spec)
+    ]
+    schedule = ShardedExecutor(n_shards=n_shards).plan_block(txs)
+    assert schedule.parallel_makespan <= schedule.sequential_makespan
+    assert schedule.speedup >= 1.0
+    assert schedule.local_count + schedule.cross_shard_count == len(txs)
+    total_gas = sum(schedule.shard_loads) + schedule.cross_shard_gas
+    assert schedule.sequential_makespan == total_gas
