@@ -1,12 +1,21 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: lint test chaos bench bench-smoke recovery obs-demo
+.PHONY: lint lint-baseline test chaos bench bench-smoke recovery obs-demo
 
-# Byte-compile everything (pyflakes is not vendored; compileall still
-# catches syntax errors across src/tests/benchmarks before the suite runs).
+# Byte-compile (catches syntax errors), then the repo's own AST linter:
+# determinism / sim-time / aliasing / pyflakes-subset / metric-hygiene
+# rules (catalog: docs/LINTS.md).  Fails on any error-severity finding
+# that is neither `# repro: noqa[...]`-suppressed nor baselined.
 lint:
 	$(PYTHON) -m compileall -q src tests benchmarks examples
+	$(PYTHON) -m repro.analysis src tests benchmarks examples
+
+# Deliberately re-grandfather the current findings.  Only for tree-wide
+# sweeps (e.g. after adding a rule); new code should be fixed, not
+# baselined.
+lint-baseline:
+	$(PYTHON) -m repro.analysis src tests benchmarks examples --update-baseline
 
 # Tier-1: fast default suite (chaos-marked sweeps excluded via addopts).
 test: lint

@@ -1,0 +1,8 @@
+"""``python -m repro.analysis`` — same CLI as ``repro-news lint``."""
+
+import sys
+
+from repro.analysis.runner import main
+
+if __name__ == "__main__":
+    sys.exit(main(prog="python -m repro.analysis"))

@@ -1,0 +1,93 @@
+"""Baseline file: grandfather existing findings, block new ones.
+
+The baseline maps each finding to a *content fingerprint* —
+``sha256(rule | path | stripped source line | occurrence index)`` — so
+editing unrelated lines above a finding does not invalidate it, while
+editing the flagged line itself (presumably to fix it) retires the
+entry.  ``--update-baseline`` rewrites the file from the current run;
+entries that no longer match anything are dropped then ("expired"), and
+:func:`apply_baseline` reports them so CI can flag a stale baseline.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import pathlib
+from typing import Iterable
+
+from repro.analysis.core import Finding
+
+__all__ = [
+    "BASELINE_VERSION",
+    "apply_baseline",
+    "fingerprint_findings",
+    "load_baseline",
+    "write_baseline",
+]
+
+BASELINE_VERSION = 1
+
+
+def _fingerprint(rule: str, path: str, context: str, occurrence: int) -> str:
+    payload = f"{rule}|{path}|{context}|{occurrence}".encode()
+    return hashlib.sha256(payload).hexdigest()[:16]
+
+
+def fingerprint_findings(findings: Iterable[Finding]) -> dict[str, Finding]:
+    """Fingerprint -> finding; duplicates on one line get occurrence ids."""
+    counts: dict[tuple[str, str, str], int] = {}
+    out: dict[str, Finding] = {}
+    for finding in findings:
+        key = (finding.rule, finding.path, finding.context)
+        occurrence = counts.get(key, 0)
+        counts[key] = occurrence + 1
+        out[_fingerprint(*key, occurrence)] = finding
+    return out
+
+
+def load_baseline(path: str | pathlib.Path) -> dict[str, dict]:
+    """Fingerprint -> stored entry.  A missing file is an empty baseline."""
+    path = pathlib.Path(path)
+    if not path.exists():
+        return {}
+    data = json.loads(path.read_text(encoding="utf-8"))
+    if data.get("version") != BASELINE_VERSION:
+        raise ValueError(
+            f"baseline {path} has version {data.get('version')!r}, "
+            f"expected {BASELINE_VERSION}"
+        )
+    return {entry["fingerprint"]: entry for entry in data.get("findings", [])}
+
+
+def apply_baseline(findings: list[Finding], baseline: dict[str, dict]) -> list[str]:
+    """Mark baselined findings in place; return expired fingerprints.
+
+    A finding whose fingerprint is in the baseline is grandfathered
+    (``finding.baselined = True`` — it no longer affects the exit
+    code).  Fingerprints in the baseline that match nothing any more
+    are returned so callers can warn that the file needs regenerating.
+    """
+    current = fingerprint_findings(findings)
+    for fingerprint, finding in current.items():
+        if fingerprint in baseline:
+            finding.baselined = True
+    return sorted(set(baseline) - set(current))
+
+
+def write_baseline(path: str | pathlib.Path, findings: list[Finding]) -> int:
+    """Persist every current finding as the new baseline; return count."""
+    entries = [
+        {
+            "fingerprint": fingerprint,
+            "rule": finding.rule,
+            "severity": finding.severity,
+            "path": finding.path,
+            "context": finding.context,
+        }
+        for fingerprint, finding in sorted(fingerprint_findings(findings).items(),
+                                           key=lambda kv: (kv[1].path, kv[1].line, kv[1].rule))
+    ]
+    payload = {"version": BASELINE_VERSION, "findings": entries}
+    pathlib.Path(path).write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return len(entries)

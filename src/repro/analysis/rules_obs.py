@@ -1,0 +1,118 @@
+"""OBS — metric hygiene across the whole tree.
+
+One :class:`~repro.obs.registry.MetricsRegistry` is shared per network,
+and metrics are keyed by ``(kind, name, labels)``.  Two call sites that
+disagree about a metric's kind or label set silently split one logical
+series into several, which corrupts every report built from it.  These
+rules cross-check every *literal-named* registry call site in the tree
+(dynamic names are unknowable statically and are skipped).
+
+OBS001 (error)  the same metric name registered as two different kinds
+                (e.g. ``counter("x")`` here, ``histogram("x")`` there).
+OBS002 (warn)   the same (name, kind) registered with different label
+                key-sets across call sites (calls that splat ``**labels``
+                are skipped — their keys are dynamic).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.core import Finding, ModuleInfo, Rule, register
+
+__all__ = ["MetricKindRule", "MetricLabelRule"]
+
+_REGISTRY_METHODS = {"counter", "gauge", "histogram"}
+#: histogram() takes a non-label tuning kwarg.
+_NON_LABEL_KWARGS = {"capacity"}
+
+
+class _CallSite:
+    __slots__ = ("mod", "node", "kind", "name", "label_keys", "dynamic_labels")
+
+    def __init__(self, mod: ModuleInfo, node: ast.Call, kind: str, name: str):
+        self.mod = mod
+        self.node = node
+        self.kind = kind
+        self.name = name
+        self.label_keys: frozenset[str] = frozenset(
+            kw.arg for kw in node.keywords
+            if kw.arg is not None and kw.arg not in _NON_LABEL_KWARGS
+        )
+        self.dynamic_labels = any(kw.arg is None for kw in node.keywords)
+
+
+class _MetricCollector(Rule):
+    """Shared collection: registry call sites with literal names."""
+
+    def __init__(self, config):
+        super().__init__(config)
+        self.sites: list[_CallSite] = []
+
+    def check_module(self, mod: ModuleInfo) -> Iterator[Finding]:
+        if mod.module.startswith("repro.obs"):
+            return iter(())  # the registry implementation, not call sites
+        for node in ast.walk(mod.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute) or func.attr not in _REGISTRY_METHODS:
+                continue
+            if not node.args:
+                continue
+            first = node.args[0]
+            if not (isinstance(first, ast.Constant) and isinstance(first.value, str)):
+                continue
+            self.sites.append(_CallSite(mod, node, func.attr, first.value))
+        return iter(())
+
+
+@register
+class MetricKindRule(_MetricCollector):
+    rule_id = "OBS001"
+    severity = "error"
+    summary = "metric name registered under conflicting kinds"
+
+    def finish(self, modules: list[ModuleInfo]) -> Iterator[Finding]:
+        # counter/gauge share a value model; conflict is counter-or-gauge
+        # versus histogram.
+        kind_of = lambda k: "histogram" if k == "histogram" else "counter"
+        first_by_name: dict[str, _CallSite] = {}
+        for site in self.sites:
+            prior = first_by_name.get(site.name)
+            if prior is None:
+                first_by_name[site.name] = site
+            elif kind_of(prior.kind) != kind_of(site.kind):
+                yield self.finding(
+                    site.mod, site.node,
+                    f"metric `{site.name}` registered as {site.kind} here but "
+                    f"as {prior.kind} at {prior.mod.path}:{prior.node.lineno}; "
+                    "one logical series must have one kind",
+                )
+
+
+@register
+class MetricLabelRule(_MetricCollector):
+    rule_id = "OBS002"
+    severity = "warn"
+    summary = "inconsistent label keys for one metric"
+
+    def finish(self, modules: list[ModuleInfo]) -> Iterator[Finding]:
+        first_by_key: dict[tuple[str, str], _CallSite] = {}
+        for site in self.sites:
+            if site.dynamic_labels:
+                continue
+            key = (site.name, "histogram" if site.kind == "histogram" else "counter")
+            prior = first_by_key.get(key)
+            if prior is None:
+                first_by_key[key] = site
+            elif prior.label_keys != site.label_keys:
+                here = ", ".join(sorted(site.label_keys)) or "<none>"
+                there = ", ".join(sorted(prior.label_keys)) or "<none>"
+                yield self.finding(
+                    site.mod, site.node,
+                    f"metric `{site.name}` labelled {{{here}}} here but "
+                    f"{{{there}}} at {prior.mod.path}:{prior.node.lineno}; "
+                    "label keys must agree or the series splits",
+                )

@@ -1,0 +1,386 @@
+"""PYF — the pyflakes subset CI lacks (pyflakes is not vendored).
+
+PYF001 (error)  unused import.  ``__init__.py`` files are exempt (their
+                imports are the package's public re-export surface), as
+                are ``import x as x`` re-export spellings and
+                ``__future__`` imports.
+PYF002 (error)  undefined name.  A real scope checker: module /
+                function / class / comprehension scopes, parameters,
+                ``global``/``nonlocal``, walrus targets, exception
+                names.  Files using star-imports are skipped (their
+                namespace is unknowable statically).
+PYF003 (warn)   duplicate import: the same (module, name) bound twice
+                at module level outside ``try`` blocks.
+PYF004 (warn)   f-string with no placeholders — a plain string wearing
+                an ``f`` prefix, usually a missed interpolation.
+
+Undefined-name checking is deliberately conservative (bindings are
+collected scope-wide before any lookup, so use-before-def is not
+reported): on this codebase a false positive blocks CI, a false
+negative is just one more thing the test suite catches.
+"""
+
+from __future__ import annotations
+
+import ast
+import builtins
+import re
+from typing import Iterator
+
+from repro.analysis.core import Finding, ModuleInfo, Rule, register
+
+__all__ = ["UnusedImportRule", "UndefinedNameRule", "DuplicateImportRule", "EmptyFStringRule"]
+
+_IDENTIFIER_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
+
+_BUILTIN_NAMES = set(dir(builtins)) | {
+    "__file__", "__name__", "__doc__", "__package__", "__spec__",
+    "__loader__", "__builtins__", "__debug__", "__path__", "__cached__",
+    "__annotations__", "__dict__", "__class__", "WindowsError",
+}
+
+
+# ---------------------------------------------------------------------------
+# PYF001 — unused imports
+# ---------------------------------------------------------------------------
+
+@register
+class UnusedImportRule(Rule):
+    rule_id = "PYF001"
+    severity = "error"
+    summary = "unused import"
+
+    def check_module(self, mod: ModuleInfo) -> Iterator[Finding]:
+        if mod.path.endswith("__init__.py"):
+            return  # package surface: imports are re-exports by design
+        imported: dict[str, tuple[ast.stmt, str]] = {}
+        for node in ast.walk(mod.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.asname and alias.asname == alias.name:
+                        continue  # `import x as x` re-export idiom
+                    local = alias.asname or alias.name.split(".")[0]
+                    imported[local] = (node, alias.name)
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "__future__":
+                    continue
+                for alias in node.names:
+                    if alias.name == "*":
+                        return  # star import: usage is unknowable
+                    if alias.asname and alias.asname == alias.name:
+                        continue
+                    local = alias.asname or alias.name
+                    imported[local] = (node, alias.name)
+        if not imported:
+            return
+        used: set[str] = set()
+        for node in ast.walk(mod.tree):
+            if isinstance(node, ast.Name):
+                used.add(node.id)
+            elif isinstance(node, ast.Constant) and isinstance(node.value, str):
+                # Strings in __all__ and forward-ref annotations like
+                # "MetricsRegistry | None" count as usage: take every
+                # identifier-shaped token (conservative — over-counting
+                # only suppresses findings, never invents them).
+                if len(node.value) < 200:
+                    used.update(_IDENTIFIER_RE.findall(node.value))
+        for local, (node, original) in sorted(imported.items(), key=lambda kv: kv[1][0].lineno):
+            if local not in used:
+                yield self.finding(mod, node, f"`{local}` imported but unused")
+
+
+# ---------------------------------------------------------------------------
+# PYF002 — undefined names
+# ---------------------------------------------------------------------------
+
+class _Scope:
+    __slots__ = ("kind", "bindings")
+
+    def __init__(self, kind: str):
+        self.kind = kind  # "module" | "function" | "class"
+        self.bindings: set[str] = set()
+
+
+class _ScopeChecker:
+    """Collect-then-check scope walker (no use-before-def detection)."""
+
+    def __init__(self, tree: ast.Module):
+        self.tree = tree
+        self.module_scope = _Scope("module")
+        self.undefined: list[ast.Name] = []
+        self.bail = False  # star-import / exec: namespace unknowable
+
+    # -- binding collection -------------------------------------------------
+
+    def _bind_target(self, scope: _Scope, target: ast.expr) -> None:
+        if isinstance(target, ast.Name):
+            scope.bindings.add(target.id)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._bind_target(scope, element)
+        elif isinstance(target, ast.Starred):
+            self._bind_target(scope, target.value)
+
+    def _collect(self, scope: _Scope, body: list[ast.stmt]) -> None:
+        """Bind every name this statement list defines in *scope*.
+
+        Does not descend into nested function/class bodies (those get
+        their own scopes later) but does descend into all other
+        compound statements.
+        """
+        stack: list[ast.AST] = list(body)
+        while stack:
+            node = stack.pop()
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                scope.bindings.add(node.name)
+                continue  # body handled by its own scope
+            if isinstance(node, ast.Lambda):
+                continue
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    scope.bindings.add(alias.asname or alias.name.split(".")[0])
+            elif isinstance(node, ast.ImportFrom):
+                for alias in node.names:
+                    if alias.name == "*":
+                        self.bail = True
+                    else:
+                        scope.bindings.add(alias.asname or alias.name)
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    self._bind_target(scope, target)
+            elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+                self._bind_target(scope, node.target)
+            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                self._bind_target(scope, node.target)
+            elif isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    if item.optional_vars is not None:
+                        self._bind_target(scope, item.optional_vars)
+            elif isinstance(node, ast.ExceptHandler):
+                if node.name:
+                    scope.bindings.add(node.name)
+            elif isinstance(node, ast.NamedExpr):
+                self._bind_target(scope, node.target)
+            elif isinstance(node, (ast.Global, ast.Nonlocal)):
+                scope.bindings.update(node.names)
+                self.module_scope.bindings.update(node.names)
+            elif isinstance(node, ast.MatchAs):
+                if node.name:
+                    scope.bindings.add(node.name)
+            elif isinstance(node, ast.MatchStar):
+                if node.name:
+                    scope.bindings.add(node.name)
+            elif isinstance(node, ast.MatchMapping):
+                if node.rest:
+                    scope.bindings.add(node.rest)
+            stack.extend(ast.iter_child_nodes(node))
+
+    # -- checking -----------------------------------------------------------
+
+    def run(self) -> list[ast.Name]:
+        # `global X` anywhere binds X at module level; pre-collect so a
+        # module-level read above the declaring function still resolves.
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Global):
+                self.module_scope.bindings.update(node.names)
+        self._collect(self.module_scope, self.tree.body)
+        if self.bail:
+            return []
+        self._check_body(self.tree.body, [self.module_scope])
+        return [] if self.bail else self.undefined
+
+    def _lookup(self, name: str, chain: list[_Scope]) -> bool:
+        current = chain[-1]
+        for scope in reversed(chain):
+            # Class bodies are invisible to nested scopes (Python's
+            # class-scope rule) — only the class body itself sees them.
+            if scope.kind == "class" and scope is not current:
+                continue
+            if name in scope.bindings:
+                return True
+        return name in _BUILTIN_NAMES
+
+    def _check_expr(self, node: ast.AST | None, chain: list[_Scope]) -> None:
+        if node is None:
+            return
+        stack: list[ast.AST] = [node]
+        while stack:
+            current = stack.pop()
+            if isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._check_function(current, chain)
+                continue
+            if isinstance(current, ast.Lambda):
+                self._check_lambda(current, chain)
+                continue
+            if isinstance(current, ast.ClassDef):
+                self._check_class(current, chain)
+                continue
+            if isinstance(current, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+                self._check_comprehension(current, chain)
+                continue
+            if isinstance(current, ast.Name):
+                if isinstance(current.ctx, ast.Load) and not self._lookup(current.id, chain):
+                    self.undefined.append(current)
+                continue
+            if isinstance(current, ast.Attribute):
+                stack.append(current.value)  # only the base name resolves
+                continue
+            if isinstance(current, (ast.AnnAssign,)):
+                # Annotations may be strings / forward refs — skip them.
+                if current.value is not None:
+                    stack.append(current.value)
+                stack.append(current.target)
+                continue
+            if isinstance(current, ast.arg):
+                continue  # parameter annotations skipped (forward refs)
+            stack.extend(ast.iter_child_nodes(current))
+
+    def _check_body(self, body: list[ast.stmt], chain: list[_Scope]) -> None:
+        for stmt in body:
+            self._check_expr(stmt, chain)
+
+    def _check_function(self, node: ast.FunctionDef | ast.AsyncFunctionDef,
+                        chain: list[_Scope]) -> None:
+        for decorator in node.decorator_list:
+            self._check_expr(decorator, chain)
+        for default in list(node.args.defaults) + [d for d in node.args.kw_defaults if d]:
+            self._check_expr(default, chain)
+        scope = _Scope("function")
+        args = node.args
+        for arg in (args.posonlyargs + args.args + args.kwonlyargs
+                    + ([args.vararg] if args.vararg else [])
+                    + ([args.kwarg] if args.kwarg else [])):
+            scope.bindings.add(arg.arg)
+        self._collect(scope, node.body)
+        self._check_body(node.body, chain + [scope])
+
+    def _check_lambda(self, node: ast.Lambda, chain: list[_Scope]) -> None:
+        for default in list(node.args.defaults) + [d for d in node.args.kw_defaults if d]:
+            self._check_expr(default, chain)
+        scope = _Scope("function")
+        args = node.args
+        for arg in (args.posonlyargs + args.args + args.kwonlyargs
+                    + ([args.vararg] if args.vararg else [])
+                    + ([args.kwarg] if args.kwarg else [])):
+            scope.bindings.add(arg.arg)
+        self._check_expr(node.body, chain + [scope])
+
+    def _check_class(self, node: ast.ClassDef, chain: list[_Scope]) -> None:
+        for decorator in node.decorator_list:
+            self._check_expr(decorator, chain)
+        for base in node.bases:
+            self._check_expr(base, chain)
+        for keyword in node.keywords:
+            self._check_expr(keyword.value, chain)
+        scope = _Scope("class")
+        self._collect(scope, node.body)
+        self._check_body(node.body, chain + [scope])
+
+    def _check_comprehension(self, node: ast.AST, chain: list[_Scope]) -> None:
+        scope = _Scope("function")
+        generators = node.generators  # type: ignore[attr-defined]
+        for comp in generators:
+            self._bind_target(scope, comp.target)
+            # Walrus targets inside comprehensions leak to the
+            # enclosing scope at runtime; binding them here is the
+            # conservative choice for lookup purposes.
+            for sub in ast.walk(comp.iter):
+                if isinstance(sub, ast.NamedExpr):
+                    self._bind_target(scope, sub.target)
+            for cond in comp.ifs:
+                for sub in ast.walk(cond):
+                    if isinstance(sub, ast.NamedExpr):
+                        self._bind_target(scope, sub.target)
+        inner = chain + [scope]
+        # First generator's iterable evaluates in the enclosing scope.
+        self._check_expr(generators[0].iter, chain)
+        for comp in generators[1:]:
+            self._check_expr(comp.iter, inner)
+        for comp in generators:
+            for cond in comp.ifs:
+                self._check_expr(cond, inner)
+        if isinstance(node, ast.DictComp):
+            self._check_expr(node.key, inner)
+            self._check_expr(node.value, inner)
+        else:
+            self._check_expr(node.elt, inner)  # type: ignore[attr-defined]
+
+
+@register
+class UndefinedNameRule(Rule):
+    rule_id = "PYF002"
+    severity = "error"
+    summary = "undefined name"
+
+    def check_module(self, mod: ModuleInfo) -> Iterator[Finding]:
+        checker = _ScopeChecker(mod.tree)
+        for name in checker.run():
+            yield self.finding(mod, name, f"undefined name `{name.id}`")
+
+
+# ---------------------------------------------------------------------------
+# PYF003 — duplicate imports
+# ---------------------------------------------------------------------------
+
+@register
+class DuplicateImportRule(Rule):
+    rule_id = "PYF003"
+    severity = "warn"
+    summary = "duplicate import of the same name"
+
+    def check_module(self, mod: ModuleInfo) -> Iterator[Finding]:
+        in_try: set[int] = set()
+        for node in ast.walk(mod.tree):
+            if isinstance(node, ast.Try):
+                for sub in ast.walk(node):
+                    in_try.add(id(sub))
+        seen: dict[tuple[str, str], int] = {}
+        for stmt in mod.tree.body:  # module level only
+            if id(stmt) in in_try:
+                continue
+            pairs: list[tuple[str, str]] = []
+            if isinstance(stmt, ast.Import):
+                pairs = [(alias.name, alias.asname or alias.name.split(".")[0])
+                         for alias in stmt.names]
+            elif isinstance(stmt, ast.ImportFrom) and stmt.module:
+                pairs = [(f"{stmt.module}.{alias.name}", alias.asname or alias.name)
+                         for alias in stmt.names if alias.name != "*"]
+            for origin, local in pairs:
+                key = (origin, local)
+                if key in seen:
+                    yield self.finding(
+                        mod, stmt,
+                        f"`{local}` already imported from `{origin}` "
+                        f"on line {seen[key]}",
+                    )
+                else:
+                    seen[key] = stmt.lineno
+
+
+# ---------------------------------------------------------------------------
+# PYF004 — f-strings with no placeholders
+# ---------------------------------------------------------------------------
+
+@register
+class EmptyFStringRule(Rule):
+    rule_id = "PYF004"
+    severity = "warn"
+    summary = "f-string without placeholders"
+
+    def check_module(self, mod: ModuleInfo) -> Iterator[Finding]:
+        # Format specs (`f"{x:>9.1f}"`) parse as *nested* JoinedStr
+        # nodes under FormattedValue.format_spec — those are not
+        # f-strings the author wrote, so exclude them.
+        spec_ids: set[int] = set()
+        for node in ast.walk(mod.tree):
+            if isinstance(node, ast.FormattedValue) and node.format_spec is not None:
+                for sub in ast.walk(node.format_spec):
+                    spec_ids.add(id(sub))
+        for node in ast.walk(mod.tree):
+            if isinstance(node, ast.JoinedStr) and id(node) not in spec_ids:
+                if not any(isinstance(part, ast.FormattedValue) for part in node.values):
+                    yield self.finding(
+                        mod, node,
+                        "f-string has no placeholders; drop the `f` prefix "
+                        "(or add the missing interpolation)",
+                    )

@@ -1,0 +1,94 @@
+"""SIM — wall-clock misuse inside simulated-time domains.
+
+The blockchain, gossip network, and social cascades all run on one
+discrete-event :class:`~repro.simnet.events.Simulator`; "when" always
+means ``sim.now``.  A stray ``time.time()`` in those modules silently
+couples ledger contents to the host's wall clock and scheduler jitter,
+which is exactly the failure mode that breaks byte-for-byte reruns.
+
+SIM001 (error)  ``time.time / monotonic / perf_counter / process_time``
+                (and their ``_ns`` variants) referenced inside a
+                sim-domain module.
+SIM002 (error)  ``datetime.now / utcnow / today`` and ``date.today``
+                inside a sim-domain module.
+
+Domains come from :class:`~repro.analysis.core.AnalysisConfig`
+(``repro.simnet``, ``repro.chain``, ``repro.social`` by default);
+``repro.obs`` and ``repro.crypto.batch`` are exempt because they
+deliberately measure *host* compute cost (wall time) alongside
+sim-time, and benchmarks are outside the domains entirely.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.core import Finding, ImportMap, ModuleInfo, Rule, register
+
+__all__ = ["WallClockRule", "WallDatetimeRule"]
+
+_WALL_CLOCKS = {
+    "time.time", "time.time_ns",
+    "time.monotonic", "time.monotonic_ns",
+    "time.perf_counter", "time.perf_counter_ns",
+    "time.process_time", "time.process_time_ns",
+}
+
+_WALL_DATETIMES = {
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today", "datetime.date.today",
+}
+
+
+class _SimDomainRule(Rule):
+    """Shared machinery: only fire inside configured sim-time domains."""
+
+    banned: frozenset[str] = frozenset()
+    advice = ""
+
+    def _in_domain(self, mod: ModuleInfo) -> bool:
+        name = mod.module
+        if not name:
+            return False
+        if any(name == ex or name.startswith(ex + ".")
+               for ex in self.config.sim_exempt_modules):
+            return False
+        return any(name == dom or name.startswith(dom + ".")
+                   for dom in self.config.sim_domains)
+
+    def check_module(self, mod: ModuleInfo) -> Iterator[Finding]:
+        if not self._in_domain(mod):
+            return
+        imports = ImportMap(mod.tree)
+        stack: list[ast.AST] = [mod.tree]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, (ast.Name, ast.Attribute)):
+                dotted = imports.resolve(node)
+                if dotted in self.banned:
+                    yield self.finding(
+                        mod, node,
+                        f"`{dotted}` reads the wall clock inside sim-domain "
+                        f"module {mod.module}; {self.advice}",
+                    )
+                    continue
+            stack.extend(ast.iter_child_nodes(node))
+
+
+@register
+class WallClockRule(_SimDomainRule):
+    rule_id = "SIM001"
+    severity = "error"
+    summary = "time.* wall clock inside a sim-time domain"
+    banned = frozenset(_WALL_CLOCKS)
+    advice = "use the Simulator's sim-time (`sim.now`) instead"
+
+
+@register
+class WallDatetimeRule(_SimDomainRule):
+    rule_id = "SIM002"
+    severity = "error"
+    summary = "datetime.now/utcnow/today inside a sim-time domain"
+    banned = frozenset(_WALL_DATETIMES)
+    advice = "derive timestamps from sim-time, not the host calendar"

@@ -70,6 +70,16 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--txs", type=int, default=30, help="--demo transaction count")
     report.add_argument("--seed", type=int, default=7)
     report.add_argument("--out", default=None, help="also write the markdown here")
+
+    # `lint` owns its own argv — main() forwards everything after the
+    # subcommand to repro.analysis before this parser runs, so that
+    # `repro-news lint` and `python -m repro.analysis` stay identical.
+    # Registered here only so it appears in `repro-news -h`.
+    subparsers.add_parser(
+        "lint",
+        help="determinism & simulation-safety static analysis (docs/LINTS.md)",
+        add_help=False,
+    )
     return parser
 
 
@@ -240,6 +250,16 @@ def _run_report_demo(
 
 
 def main(argv: Sequence[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    # Forward `lint` before argparse sees its flags: REMAINDER only
+    # starts collecting at the first positional, so a leading option
+    # (`repro-news lint --format json src`) would otherwise be rejected
+    # by this parser instead of reaching repro.analysis.
+    if list(argv[:1]) == ["lint"]:
+        from repro.analysis import main as lint_main
+
+        return lint_main(list(argv[1:]), prog="repro-news lint")
     args = build_parser().parse_args(argv)
     if args.command == "demo":
         return _run_demo(args.scenario)
@@ -251,7 +271,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _run_stats()
     if args.command == "report":
         return _run_report(args)
-    return 2  # unreachable: argparse enforces the choices
+    return 2  # unreachable: argparse enforces the choices (lint returns above)
 
 
 if __name__ == "__main__":

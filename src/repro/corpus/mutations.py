@@ -19,7 +19,6 @@ from __future__ import annotations
 import random
 import re
 from collections import Counter
-from dataclasses import replace
 
 from repro.corpus.articles import Article
 from repro.corpus.lexicon import tokenize

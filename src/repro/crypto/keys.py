@@ -39,9 +39,20 @@ class KeyPair:
     address: str
 
     @classmethod
-    def generate(cls, rng: random.Random | None = None) -> "KeyPair":
-        """Create a fresh key pair, deterministically if *rng* is given."""
-        rng = rng or random.SystemRandom()
+    def generate(cls, rng: random.Random) -> "KeyPair":
+        """Create a fresh key pair from the caller's seeded *rng*.
+
+        The rng is required on purpose: an implicit OS-entropy fallback
+        would let one forgotten argument silently break the bit-identical
+        reruns every experiment depends on (DESIGN.md §6).  Callers that
+        genuinely want unreproducible keys can pass
+        ``random.SystemRandom()`` explicitly.
+        """
+        if rng is None:
+            raise CryptoError(
+                "KeyPair.generate requires a seeded random.Random; "
+                "implicit OS entropy would break run reproducibility"
+            )
         seed = rng.getrandbits(256).to_bytes(32, "little")
         return cls.from_seed(seed)
 

@@ -1,0 +1,23 @@
+"""Known-bad ALIAS corpus: shared defaults and leaked internals."""
+
+
+def collect(item, acc=[]):  # ALIAS001
+    acc.append(item)
+    return acc
+
+
+def tally(key, counts={}):  # ALIAS001
+    counts[key] = counts.get(key, 0) + 1
+    return counts
+
+
+class Peer:
+    def __init__(self):
+        self.receipts = {}
+        self.heights = []
+
+    def all_receipts(self):
+        return self.receipts  # ALIAS002: live reference across the boundary
+
+    def seen_heights(self):
+        return self.heights  # ALIAS002

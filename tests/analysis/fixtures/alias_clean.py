@@ -1,0 +1,29 @@
+"""Known-clean ALIAS corpus: None defaults and defensive copies."""
+
+
+def collect(item, acc=None):
+    acc = [] if acc is None else acc
+    acc.append(item)
+    return acc
+
+
+class Peer:
+    def __init__(self):
+        self.receipts = {}
+        self.heights = []
+
+    def all_receipts(self):
+        return dict(self.receipts)
+
+    def seen_heights(self):
+        return sorted(self.heights)
+
+
+class Courier:
+    """Not a boundary class: returning internals is its contract."""
+
+    def __init__(self):
+        self.bag = []
+
+    def contents(self):
+        return self.bag

@@ -1,0 +1,26 @@
+"""Known-clean corpus for the DET family: the blessed idioms."""
+
+import random
+
+from repro.crypto import MerkleTree, hash_json
+
+
+def seeded_jitter(seed: int) -> float:
+    rng = random.Random(seed)
+    return rng.random() * 0.5
+
+
+def threaded_pick(rng: random.Random, options):
+    return rng.choice(options)
+
+
+def derived_rng(seed: int) -> random.Random:
+    return random.Random(f"chaos:{seed}")
+
+
+def ordered_root(digests):
+    return MerkleTree(sorted(set(digests)))
+
+
+def ordered_payload(tags):
+    return hash_json(sorted({tag for tag in tags}))

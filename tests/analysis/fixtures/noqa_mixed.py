@@ -1,0 +1,16 @@
+"""Suppression corpus: the same hazards as det_bad, selectively noqa'd."""
+
+import random
+import uuid
+
+
+def allowed_ambient() -> float:
+    return random.random()  # repro: noqa[DET001] fixture: suppression demo
+
+
+def allowed_everything() -> str:
+    return uuid.uuid4().hex  # repro: noqa
+
+
+def wrong_rule() -> float:
+    return random.random()  # repro: noqa[DET003] wrong id: DET001 must survive

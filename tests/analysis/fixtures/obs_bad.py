@@ -1,0 +1,11 @@
+"""Known-bad OBS corpus: one metric name, conflicting registrations."""
+
+
+def record_commit(registry, peer: str, latency: float) -> None:
+    registry.counter("chain.commits", peer=peer).inc()
+    registry.histogram("chain.commits", peer=peer).observe(latency)  # OBS001
+
+
+def record_sync(registry, peer: str, origin: str) -> None:
+    registry.counter("sync.fetches", peer=peer).inc()
+    registry.counter("sync.fetches", peer=peer, origin=origin).inc()  # OBS002

@@ -1,0 +1,16 @@
+"""Known-clean OBS corpus: one kind and one label set per metric."""
+
+
+def record_commit(registry, peer: str, latency: float) -> None:
+    registry.counter("chain.commits", peer=peer).inc()
+    registry.histogram("chain.commit_latency", peer=peer).observe(latency)
+
+
+def record_sync(registry, peer: str, origin: str) -> None:
+    registry.counter("sync.fetches", peer=peer, origin=origin).inc()
+    registry.counter("sync.fetches", peer=peer, origin="self").inc()
+
+
+def record_dynamic(registry, labels: dict) -> None:
+    # **splat call sites have unknowable keys; the rule must skip them.
+    registry.counter("sync.fetches", **labels).inc()

@@ -1,0 +1,17 @@
+"""Known-bad PYF corpus: one specimen per sub-rule."""
+
+import json
+import math  # PYF001: never referenced again
+import json  # PYF003: duplicate of line 3
+
+
+def misspelled(records):
+    return json.dumps(recods)  # PYF002: typo'd name
+
+
+def banner() -> str:
+    return f"=== report ==="  # PYF004: f-string with nothing to format
+
+
+def powers(n: int) -> list[float]:
+    return [math_pow(2.0, i) for i in range(n)]  # PYF002 (math.pow intended)

@@ -1,0 +1,55 @@
+"""Known-clean PYF corpus — exercises scope shapes that tempt false
+positives: comprehension scopes, class scopes, walrus, globals,
+decorators, lambdas, try/except import fallbacks, forward-ref strings."""
+
+from __future__ import annotations
+
+import json
+import math
+
+try:
+    from json import JSONDecodeError
+except ImportError:  # pragma: no cover - always available on 3.10+
+    JSONDecodeError = ValueError
+
+_CACHE: dict[str, float] = {}
+_TOTAL = 0
+
+
+def bump() -> int:
+    global _TOTAL
+    _TOTAL += 1
+    return _TOTAL
+
+
+def deco(fn):
+    def inner(*args, **kwargs):
+        return fn(*args, **kwargs)
+    return inner
+
+
+@deco
+def hypotenuse(a: float, b: float = 1.0) -> float:
+    return math.sqrt(a * a + b * b)
+
+
+class Table:
+    COLUMNS = ("name", "value")
+    WIDTHS = [len(column) for column in COLUMNS]  # class-scope comprehension iter
+
+    def render(self, rows: "list[dict[str, float]]") -> str:
+        cells = [
+            formatted
+            for row in rows
+            if (total := sum(row.values())) > 0
+            for formatted in (json.dumps(row), f"{total:.2f}")
+        ]
+        picker = lambda index=0: cells[index]
+        return picker() if cells else ""
+
+
+def parse(blob: str) -> dict:
+    try:
+        return json.loads(blob)
+    except JSONDecodeError as exc:
+        raise ValueError(f"bad blob: {exc}") from exc

@@ -1,0 +1,21 @@
+"""Known-bad SIM corpus — analyzed as if it were a repro.chain module."""
+
+import time
+from datetime import datetime
+from time import monotonic
+
+
+def stamp_block() -> float:
+    return time.time()  # SIM001
+
+
+def round_deadline() -> float:
+    return monotonic() + 5.0  # SIM001 (aliased via from-import)
+
+
+def profile_commit() -> float:
+    return time.perf_counter()  # SIM001
+
+
+def block_timestamp() -> str:
+    return datetime.now().isoformat()  # SIM002

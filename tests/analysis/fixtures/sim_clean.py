@@ -1,0 +1,12 @@
+"""Known-clean SIM corpus: sim-time everywhere, even as a chain module."""
+
+
+class _Engine:
+    def __init__(self, sim):
+        self.sim = sim
+
+    def stamp_block(self) -> float:
+        return self.sim.now
+
+    def round_deadline(self) -> float:
+        return self.sim.now + 5.0

@@ -1,0 +1,128 @@
+"""The analyzer as a tool: CLI exit codes, JSON schema, baseline flags,
+and the ``repro-news lint`` forwarding path CI actually runs."""
+
+import json
+import pathlib
+import subprocess
+import sys
+
+from repro.analysis import main as lint_main
+from repro.analysis.runner import collect_files, module_name_for
+from repro.cli import main as cli_main
+
+FIXTURES = pathlib.Path(__file__).parent / "fixtures"
+REPO = pathlib.Path(__file__).parents[2]
+
+
+def test_exit_zero_on_clean_tree(tmp_path, capsys):
+    clean = tmp_path / "ok.py"
+    clean.write_text("import math\nprint(math.tau)\n")
+    assert lint_main([str(clean), "--no-baseline"]) == 0
+    assert "0 errors" in capsys.readouterr().out
+
+
+def test_exit_one_on_error_finding(capsys):
+    # Absolute fixture path: outside the tests/ warn cap, so the DET
+    # errors keep their severity — this is the "CI fails on a new
+    # error-severity violation" guarantee.
+    bad = str((FIXTURES / "det_bad.py").resolve())
+    assert lint_main([bad, "--no-baseline"]) == 1
+    out = capsys.readouterr().out
+    assert "DET001" in out and "[error]" in out
+
+
+def test_exit_two_on_syntax_error(tmp_path, capsys):
+    broken = tmp_path / "broken.py"
+    broken.write_text("def nope(:\n")
+    assert lint_main([str(broken), "--no-baseline"]) == 2
+    assert "PARSE ERROR" in capsys.readouterr().out
+
+
+def test_json_output_schema(tmp_path, capsys):
+    bad = tmp_path / "src" / "bad.py"
+    bad.parent.mkdir()
+    bad.write_text("import random\nx = random.random()\n")
+    code = lint_main([str(bad), "--no-baseline", "--format", "json"])
+    assert code == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["version"] == 1
+    summary = payload["summary"]
+    assert summary["files_checked"] == 1
+    assert summary["active_errors"] == 1
+    assert summary["by_rule"] == {"DET001": 1}
+    (finding,) = payload["findings"]
+    assert set(finding) == {
+        "rule", "severity", "path", "line", "col", "message", "context", "baselined",
+    }
+    assert finding["rule"] == "DET001" and finding["line"] == 2
+
+
+def test_out_flag_writes_report(tmp_path, capsys):
+    clean = tmp_path / "ok.py"
+    clean.write_text("print('hi')\n")
+    out_file = tmp_path / "report.json"
+    lint_main([str(clean), "--no-baseline", "--format", "json", "--out", str(out_file)])
+    capsys.readouterr()
+    assert json.loads(out_file.read_text())["summary"]["total"] == 0
+
+
+def test_update_baseline_then_clean_exit(tmp_path, capsys, monkeypatch):
+    project = tmp_path / "src"
+    project.mkdir()
+    (project / "mod.py").write_text("import random\nx = random.random()\n")
+    monkeypatch.chdir(tmp_path)
+    assert lint_main(["src"]) == 1  # fails before baselining
+    assert lint_main(["src", "--update-baseline"]) == 0
+    assert lint_main(["src"]) == 0  # grandfathered now
+    out = capsys.readouterr().out
+    assert "baselined" in out
+
+
+def test_cli_lint_subcommand_forwards(capsys):
+    bad = str((FIXTURES / "det_bad.py").resolve())
+    assert cli_main(["lint", bad, "--no-baseline"]) == 1
+    assert "DET001" in capsys.readouterr().out
+
+
+def test_cli_lint_forwards_leading_flags(capsys):
+    # Options before the first path must reach the analyzer too —
+    # `repro-news lint --format json src` is the CI invocation shape.
+    bad = str((FIXTURES / "det_bad.py").resolve())
+    assert cli_main(["lint", "--no-baseline", bad]) == 1
+    assert "DET001" in capsys.readouterr().out
+
+
+def test_python_dash_m_entry_point(tmp_path):
+    clean = tmp_path / "ok.py"
+    clean.write_text("print('ok')\n")
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.analysis", str(clean), "--no-baseline"],
+        capture_output=True, text=True,
+        cwd=str(REPO), env={"PYTHONPATH": str(REPO / "src"), "PATH": "/usr/bin:/bin"},
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert "0 errors" in proc.stdout
+
+
+def test_repo_tree_is_clean():
+    # The dogfood criterion: `repro-news lint` over this repository's
+    # own src/ reports no active errors.
+    report_code = lint_main([str(REPO / "src"), "--no-baseline"])
+    assert report_code == 0
+
+
+def test_collect_files_skips_fixture_dirs():
+    files = collect_files([str(REPO / "tests")])
+    assert files, "tests/ should contain python files"
+    assert not [p for p in files if "fixtures" in p.parts]
+    # But naming a fixture file explicitly always analyzes it.
+    explicit = collect_files([str(FIXTURES / "det_bad.py")])
+    assert len(explicit) == 1
+
+
+def test_module_name_inference():
+    assert module_name_for(REPO / "src" / "repro" / "chain" / "peer.py") == "repro.chain.peer"
+    assert module_name_for(REPO / "src" / "repro" / "obs" / "__init__.py") == "repro.obs"
+    # A top-level script is importable under its bare stem — no package
+    # prefix means it can never match a `repro.*` sim domain.
+    assert module_name_for(REPO / "setup.py") == "setup"

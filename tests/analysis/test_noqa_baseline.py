@@ -1,0 +1,127 @@
+"""Suppression and baseline semantics: noqa parsing, grandfathering,
+fingerprint stability under line drift, and expiry of fixed entries."""
+
+import json
+import pathlib
+
+from repro.analysis import analyze_source, apply_baseline, load_baseline, parse_noqa, write_baseline
+from repro.analysis.baseline import fingerprint_findings
+
+FIXTURES = pathlib.Path(__file__).parent / "fixtures"
+
+
+# -- noqa -------------------------------------------------------------------
+
+def test_parse_noqa_forms():
+    lines = [
+        "x = 1  # repro: noqa",
+        "y = 2  # repro: noqa[DET001] reason text here",
+        "z = 3  # repro: noqa[DET001, PYF002]",
+        "plain = 4",
+        "w = 5  # noqa",  # other tools' spelling: not ours, ignored
+    ]
+    noqa = parse_noqa(lines)
+    assert noqa[1] is None
+    assert noqa[2] == {"DET001"}
+    assert noqa[3] == {"DET001", "PYF002"}
+    assert 4 not in noqa and 5 not in noqa
+
+
+def test_noqa_suppression_in_fixture():
+    source = (FIXTURES / "noqa_mixed.py").read_text(encoding="utf-8")
+    findings = analyze_source(source, path="fixture/noqa_mixed.py")
+    # Only the deliberately mismatched suppression survives.
+    assert [f.rule for f in findings] == ["DET001"]
+    assert "wrong_rule" in "\n".join(
+        line for line in source.splitlines()[findings[0].line - 3:findings[0].line]
+    )
+
+
+def test_noqa_only_covers_its_own_line():
+    source = (
+        "import random\n"
+        "a = random.random()  # repro: noqa[DET001] this line only\n"
+        "b = random.random()\n"
+    )
+    findings = analyze_source(source, path="two_lines.py")
+    assert [(f.rule, f.line) for f in findings] == [("DET001", 3)]
+
+
+# -- baseline ---------------------------------------------------------------
+
+BAD = "import random\nvalue = random.random()\n"
+
+
+def test_baseline_roundtrip_grandfathers(tmp_path):
+    baseline_path = tmp_path / "baseline.json"
+    findings = analyze_source(BAD, path="src/mod.py")
+    assert len(findings) == 1 and findings[0].severity == "error"
+
+    assert write_baseline(baseline_path, findings) == 1
+    entries = load_baseline(baseline_path)
+    fresh = analyze_source(BAD, path="src/mod.py")
+    expired = apply_baseline(fresh, entries)
+    assert expired == []
+    assert fresh[0].baselined is True
+
+
+def test_baseline_survives_line_drift(tmp_path):
+    baseline_path = tmp_path / "baseline.json"
+    write_baseline(baseline_path, analyze_source(BAD, path="src/mod.py"))
+    drifted = "import random\n\n\n# new comment above\nvalue = random.random()\n"
+    findings = analyze_source(drifted, path="src/mod.py")
+    apply_baseline(findings, load_baseline(baseline_path))
+    assert findings[0].baselined is True  # keyed by content, not line number
+
+
+def test_new_violation_not_grandfathered(tmp_path):
+    baseline_path = tmp_path / "baseline.json"
+    write_baseline(baseline_path, analyze_source(BAD, path="src/mod.py"))
+    grown = BAD + "other = random.randint(0, 7)\n"
+    findings = analyze_source(grown, path="src/mod.py")
+    apply_baseline(findings, load_baseline(baseline_path))
+    flags = {f.context: f.baselined for f in findings}
+    assert flags["value = random.random()"] is True
+    assert flags["other = random.randint(0, 7)"] is False
+
+
+def test_fixed_entry_expires(tmp_path):
+    baseline_path = tmp_path / "baseline.json"
+    write_baseline(baseline_path, analyze_source(BAD, path="src/mod.py"))
+    fixed = "import random\nvalue = random.Random(7).random()\n"
+    findings = analyze_source(fixed, path="src/mod.py")
+    expired = apply_baseline(findings, load_baseline(baseline_path))
+    assert findings == []
+    assert len(expired) == 1  # stale fingerprint surfaced for regeneration
+
+
+def test_duplicate_findings_on_one_line_get_distinct_fingerprints():
+    two = analyze_source(
+        "import random\npair = (random.random(), random.random())\n",
+        path="src/mod.py",
+    )
+    assert len(two) == 2
+    assert len(fingerprint_findings(two)) == 2
+
+
+def test_missing_baseline_is_empty(tmp_path):
+    assert load_baseline(tmp_path / "nope.json") == {}
+
+
+def test_version_mismatch_rejected(tmp_path):
+    bad = tmp_path / "baseline.json"
+    bad.write_text(json.dumps({"version": 99, "findings": []}))
+    try:
+        load_baseline(bad)
+    except ValueError as exc:
+        assert "version" in str(exc)
+    else:
+        raise AssertionError("expected ValueError for version mismatch")
+
+
+def test_shipped_baseline_is_empty_for_error_rules():
+    # The acceptance criterion: the repo ships with nothing grandfathered.
+    repo_baseline = pathlib.Path(__file__).parents[2] / "analysis_baseline.json"
+    data = json.loads(repo_baseline.read_text(encoding="utf-8"))
+    assert data["version"] == 1
+    assert [e for e in data["findings"] if e.get("severity") == "error"] == []

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.core import TrustingNewsPlatform
 from repro.errors import ContractError, PlatformError
 
 

@@ -14,7 +14,6 @@ from repro.core import (
     select_messengers,
     author_history_features,
     early_cascade_features,
-    build_supply_chain_graph,
 )
 from repro.corpus import CorpusGenerator
 from repro.errors import MLError

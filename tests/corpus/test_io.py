@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.corpus import CorpusGenerator
 from repro.corpus.io import article_from_dict, article_to_dict, load_corpus, save_corpus
 from repro.errors import CorpusError
 

@@ -1,0 +1,103 @@
+"""Dynamic counterpart of the DET/SIM static rules (docs/LINTS.md).
+
+An E1-style workload — publish → AI-less provenance → crowd votes →
+rank, over real four-peer consensus — run twice from one seed must
+produce the same ledger tip hash, the same transaction receipts, and
+the same observability records.  The static analyzer forbids the
+ingredients of divergence (ambient RNGs, wall-clock reads in sim
+domains); this test catches whatever shape of nondeterminism the rules
+cannot see.
+"""
+
+from repro.chain import BlockchainNetwork, NetworkedChain
+from repro.core import TrustingNewsPlatform
+from repro.corpus import CorpusGenerator
+from repro.corpus.mutations import relay
+from repro.simnet import FixedLatency
+
+#: Obs metrics fed from the host's wall clock by design — verify_batch
+#: measures real crypto compute, endorse is synchronous in-process so
+#: its sim duration is 0 and wall time is the meaningful cost.  Their
+#: observed values legitimately differ between reruns; everything else
+#: must be bit-identical.
+WALL_CLOCK_METRICS = {"phase.verify_batch", "phase.endorse"}
+
+
+def _run_e1_scenario(seed: int):
+    network = BlockchainNetwork(
+        n_peers=4, consensus="pbft", block_interval=0.2,
+        latency=FixedLatency(0.01), seed=seed,
+    )
+    platform = TrustingNewsPlatform(seed=seed, chain=NetworkedChain(network))
+    gen = CorpusGenerator(seed=seed + 1)
+
+    fact = gen.factual(topic="economy")
+    platform.seed_fact("f-det", fact.text, "stats-office", "economy")
+    platform.register_participant("wire", role="publisher")
+    platform.create_distribution_platform("wire", "det-wire")
+    platform.create_news_room("wire", "det-wire", "macro", "economy")
+    for index in range(3):
+        if index % 2 == 0:
+            article = relay(fact, "wire", float(index))
+        else:
+            article = gen.insertion_fake(relay(fact, "wire", 0.0), "wire",
+                                         float(index), n_insertions=3)
+        platform.publish_article("wire", "det-wire", "macro", f"det-a{index}",
+                                 article.text, "economy")
+        platform.register_participant(f"det-checker-{index}", role="checker")
+        platform.cast_vote(f"det-checker-{index}", f"det-a{index}", verdict=index % 2 == 0)
+        platform.rank_article(f"det-a{index}")
+    network.run_for(5)
+    network.assert_convergence()
+    return network
+
+
+def _tip_hashes(network) -> list[str]:
+    out = []
+    for peer in network.peers:
+        ledger = peer.ledger
+        out.append(ledger.block(ledger.height).block_hash)
+    return out
+
+
+def _receipt_view(network) -> dict[str, tuple]:
+    peer = network.peers[0]
+    return {
+        tx_id: (r.block_height, r.success, repr(r.return_value), r.error, r.gas_used)
+        for tx_id, r in peer.receipts.items()
+    }
+
+
+def _obs_view(network) -> list:
+    records = []
+    for record in network.obs.collect():
+        if record["kind"] in ("counter", "gauge"):
+            records.append(record)
+        elif record["name"] in WALL_CLOCK_METRICS:
+            # Wall-time values vary; the *count* of observations cannot.
+            records.append({"name": record["name"], "labels": record["labels"],
+                            "count": record["summary"]["count"]})
+        else:
+            records.append(record)
+    return records
+
+
+def test_e1_rerun_is_bit_identical():
+    first = _run_e1_scenario(seed=2026)
+    second = _run_e1_scenario(seed=2026)
+
+    tips = _tip_hashes(first)
+    assert tips == _tip_hashes(second)
+    assert len(set(tips)) == 1, "peers converged on one tip within a run"
+
+    receipts = _receipt_view(first)
+    assert receipts, "scenario must commit transactions"
+    assert receipts == _receipt_view(second)
+
+    assert _obs_view(first) == _obs_view(second)
+
+
+def test_e1_different_seed_diverges():
+    a = _run_e1_scenario(seed=2026)
+    b = _run_e1_scenario(seed=2027)
+    assert _tip_hashes(a) != _tip_hashes(b)

@@ -2,8 +2,6 @@
 
 import random
 
-import pytest
-
 from repro.chain import BlockchainNetwork, NetworkedChain
 from repro.core import TrustingNewsPlatform
 from repro.corpus import CorpusGenerator

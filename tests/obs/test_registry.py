@@ -3,7 +3,7 @@
 import pytest
 
 from repro.obs import MetricsRegistry
-from repro.obs.registry import Histogram, merge_histograms
+from repro.obs.registry import Histogram
 
 
 def test_counter_identity_and_labels():

@@ -7,7 +7,6 @@ import pytest
 
 from repro.social import (
     AgentKind,
-    SocialAgent,
     bind_agents,
     make_population,
     polarized_follow_graph,

@@ -4,7 +4,6 @@ import random
 
 import pytest
 
-from repro.corpus import CorpusGenerator
 from repro.social import CascadeRunner, build_social_world, emotional_appeal, run_races
 
 

@@ -1,7 +1,5 @@
 """Focused coverage for remaining edge behaviours across layers."""
 
-import random
-
 import pytest
 
 from repro.chain import BlockchainNetwork, NetworkedChain
