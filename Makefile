@@ -28,12 +28,14 @@ chaos:
 bench:
 	$(PYTHON) -m pytest benchmarks -q
 
-# CI-sized pass over the substrate micro-benchmarks: REPRO_BENCH_SMOKE=1
-# shrinks the crypto benches so the hot paths are exercised on every
-# push without the statistical assertions (which need quiet hardware).
+# CI-sized pass over the substrate micro-benchmarks plus the pipelined
+# PBFT sweep: REPRO_BENCH_SMOKE=1 shrinks the crypto benches and the
+# pipeline workload so the hot paths (including depth > 1 consensus) are
+# exercised on every push without the statistical assertions (which need
+# quiet hardware).
 bench-smoke:
-	REPRO_BENCH_SMOKE=1 $(PYTHON) -m pytest benchmarks/bench_micro_substrate.py -q \
-		--benchmark-disable
+	REPRO_BENCH_SMOKE=1 $(PYTHON) -m pytest benchmarks/bench_micro_substrate.py \
+		benchmarks/bench_pipeline.py -q --benchmark-disable
 
 # Crash-recovery: deep catch-up tests + the recovery benchmark
 # (writes benchmarks/latest_recovery.json).

@@ -25,7 +25,11 @@ checks, cheap) and again at end-of-run (full-ledger forensics):
   peer that silently stays behind forever is a liveness bug, which the
   old min-height prefix check masked), and — given a fault log — every
   peer recovered or restarted at time *t* must have reached the head
-  height that existed at *t* within ``sync_window`` seconds.
+  height that existed at *t* within ``sync_window`` seconds;
+- **pipeline consistency** — under pipelined PBFT, an engine's
+  decided-but-unapplied buffer must only ever hold heights *above* the
+  applied head: a decided block at or below it means the drain logic
+  lost a block or applied out of order.
 
 Crash-*restart* faults (see :meth:`~repro.simnet.failure.
 FailureSchedule.restart_at`) legitimately wipe a peer's mempool; the
@@ -77,7 +81,7 @@ class AuditViolation(ChainError):
         peers: tuple[str, ...] = (),
         forensics: dict[str, Any] | None = None,
     ):
-        self.invariant = invariant  # "agreement" | "certificate" | "durability" | "convergence" | "catchup"
+        self.invariant = invariant  # "agreement" | "certificate" | "durability" | "convergence" | "catchup" | "pipeline"
         self.detail = detail
         self.height = height
         self.peers = tuple(peers)
@@ -250,6 +254,7 @@ class InvariantAuditor:
         self.check_durability()
         self.check_convergence()
         self.check_catchup(failures=failures, sync_window=sync_window)
+        self.check_pipeline()
         return list(self.violations)
 
     def check_agreement(self) -> None:
@@ -459,6 +464,36 @@ class InvariantAuditor:
                         "event": event,
                         "latency": latency,
                         "sync_window": sync_window,
+                    },
+                )
+
+    def check_pipeline(self) -> None:
+        """Pipeline internal consistency on honest engines.
+
+        A decided-but-unapplied block (commit quorum reached out of
+        order) must sit strictly above the applied head; an entry at or
+        below it means the commit-buffer drain lost a block or applied
+        out of order.  Engines without a buffer (PoA, depth-1 PBFT with
+        nothing in flight) trivially pass.
+        """
+        self.checks_run += 1
+        for peer in self.network.peers:
+            if peer.byzantine:
+                continue
+            decided = getattr(peer.engine, "decided_heights", None)
+            if decided is None:
+                continue
+            stuck = [h for h in decided() if h <= peer.ledger.height]
+            if stuck:
+                self._violate(
+                    "pipeline",
+                    f"decided-block buffer holds height(s) {stuck} at or below "
+                    f"the applied head {peer.ledger.height}",
+                    height=min(stuck),
+                    peers=(peer.node_id,),
+                    forensics={
+                        "buffered_heights": decided(),
+                        "ledger_height": peer.ledger.height,
                     },
                 )
 

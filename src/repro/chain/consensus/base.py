@@ -63,6 +63,11 @@ class ConsensusEngine(ABC):
     def on_transaction_admitted(self) -> None:
         """Hook: the peer admitted a new transaction to its mempool."""
 
+    def on_block_applied(self, block: "Block") -> None:
+        """Hook: the peer appended *block* to its ledger (via consensus,
+        sync, or a direct offer).  Pipelined engines use this to drain
+        decided-but-unapplied blocks whose gap just closed."""
+
     # -- sync integration (see repro.chain.sync) ---------------------------
 
     def verify_synced_block(self, block: "Block", proof: Any) -> bool:

@@ -14,6 +14,25 @@ message as a lag hint.  Sync-fetched blocks are only applied when they
 carry this replica's stored 2f+1 commit certificate for that height
 (:meth:`PBFTEngine.verify_synced_block`).
 
+**Pipelined ordering.**  Up to ``pipeline_depth`` sequence numbers are
+in flight per view (Castro–Liskov's high/low-watermark window, sized for
+the simulator): the primary proposes heights h+1..h+k before h+1 has
+gathered quorum, chaining each pipelined block onto the digest of the
+still-uncommitted proposal below it.  Rounds for different heights
+progress independently; a commit quorum reached *out of order* (h+2
+before h+1) is parked in a decided-block buffer and applied — after a
+parent-linkage check, the same verify-before-apply discipline the sync
+path uses — the moment the gap below closes.  Application is therefore
+always strictly in height order even though agreement is not.  Once a
+height is decided locally, conflicting pre-prepares for it are refused
+until the decided block is either applied or discarded (its parent lost
+the height across a view change), which keeps the elided new-view proof
+from weakening agreement at pipelined heights.  The mempool cooperates
+via reservations: a transaction taken into an in-flight proposal cannot
+be re-admitted by a gossip echo and re-proposed at a second height (a
+double-commit hazard that exists only when more than one block is open
+at a time).
+
 Simplifications relative to Castro & Liskov, documented here because
 they matter when reading experiment results:
 
@@ -35,22 +54,29 @@ they matter when reading experiment results:
   "observer" joined via ``BlockchainNetwork.join_peer``) never votes —
   it follows the chain through commit certificates only.  Quorums are
   2f+1 *distinct validators*, never merely 2f+1 distinct senders.
+- **Votes only count for the digest they name.**  A prepare or commit
+  that arrives before the pre-prepare is stashed with the digest it
+  voted for and reconciled when the pre-prepare installs the round's
+  digest; a vote for some other digest never contributes to quorum.
+  (The seed counted early votes blindly, so votes for digest X could be
+  tallied toward whatever digest Y the pre-prepare later carried.)
 - Round state is bounded: messages are rejected outside a small view
   window (``[view, view + VIEW_WINDOW]``) and height window
-  (``(committed, committed + HEIGHT_WINDOW]``), and rounds for deposed
-  views are garbage-collected on view change — a deposed primary's
-  taken-but-uncommitted transactions are re-queued into its mempool so
-  they are not silently dropped.
+  (``(committed, committed + height_window]``, where ``height_window``
+  grows with ``pipeline_depth``), and rounds for deposed views are
+  garbage-collected on view change — a deposed primary's
+  taken-but-uncommitted transactions across the *whole* pipeline window
+  are re-queued into its mempool so they are not silently dropped.
 - Checkpointing/garbage collection is replaced by pruning round state
   once a height commits (the simulator's ledger is the checkpoint).
-- One block (= one PBFT sequence number) is in flight at a time per
-  view, which matches how Fabric-style ordering batches anyway.
 
 The membership rule, the bounded-window rule, and the re-queue rule are
 continuously re-verified under fault injection by
 :class:`repro.chain.audit.InvariantAuditor` +
 :class:`repro.simnet.chaos.ChaosSchedule` (see
-``tests/chain/test_chaos_audit.py``).
+``tests/chain/test_chaos_audit.py``), which also audits the pipeline's
+decided-block buffer (a decided block at or below the applied head is an
+internal-consistency violation).
 """
 
 from __future__ import annotations
@@ -62,6 +88,7 @@ from repro.chain.block import Block
 from repro.chain.consensus.base import ConsensusEngine
 from repro.crypto.batch import verify_many
 from repro.crypto.keys import verify_signature
+from repro.obs.trace import Span
 from repro.simnet.network import Message
 
 __all__ = ["PBFTEngine"]
@@ -89,20 +116,50 @@ class _Round:
     #: signer -> verified commit-vote signature (only for voters whose
     #: key is registered; keyless votes appear in ``commits`` alone).
     commit_sigs: dict[str, bytes] = field(default_factory=dict)
+    #: Votes that arrived before the pre-prepare, keyed by voter and
+    #: remembering *which* digest each voted for.  They are reconciled —
+    #: matching digests promoted, the rest dropped — when the
+    #: pre-prepare installs the round's digest; until then they count
+    #: toward nothing.  Bounded by validator-set size (membership is
+    #: checked before stashing).
+    early_prepares: dict[str, str] = field(default_factory=dict)
+    early_commits: dict[str, tuple[str, bytes | None]] = field(default_factory=dict)
     sent_prepare: bool = False
     sent_commit: bool = False
     #: Sim time this replica first saw the pre-prepare, for the
     #: ``pbft.round`` duration histogram.
     started_at: float | None = None
+    #: Per-height lifecycle span (pre-prepare -> applied/discarded).
+    span: Span | None = None
+
+
+@dataclass
+class _Decided:
+    """A commit-quorum block waiting for the gap below it to close.
+
+    Everything needed to apply later without the round state: the block,
+    its certificate (names + vote signatures), and the observability
+    carried over from the round.
+    """
+
+    block: Block
+    digest: str
+    certificate: list[str]
+    signatures: dict[str, str]
+    started_at: float | None = None
+    span: Span | None = None
+    buffered_at: float | None = None
 
 
 class PBFTEngine(ConsensusEngine):
     """PBFT replica logic for one peer."""
 
     #: Accept votes only for views in ``[view, view + VIEW_WINDOW]`` and
-    #: heights in ``(committed, committed + HEIGHT_WINDOW]`` — anything
+    #: heights in ``(committed, committed + height_window]`` — anything
     #: beyond is either hopelessly stale or unverifiable garbage, and
     #: accepting it lets a flooder grow ``_rounds`` without bound.
+    #: ``height_window`` is an instance attribute so deep pipelines can
+    #: widen it; ``HEIGHT_WINDOW`` is its floor.
     VIEW_WINDOW = 8
     HEIGHT_WINDOW = 8
     #: Commit certificates older than this many heights below the chain
@@ -116,17 +173,30 @@ class PBFTEngine(ConsensusEngine):
         block_interval: float = 1.0,
         view_timeout: float = 10.0,
         max_block_txs: int = 500,
+        pipeline_depth: int = 4,
     ):
         super().__init__()
         if len(validators) < 4:
             raise ValueError("PBFT needs n >= 4 validators (n = 3f + 1, f >= 1)")
+        if pipeline_depth < 1:
+            raise ValueError("pipeline_depth must be >= 1")
         self.validators = list(validators)
         self._validator_set = frozenset(validators)
         self.block_interval = block_interval
         self.view_timeout = view_timeout
         self.max_block_txs = max_block_txs
+        #: In-flight sequence-number window: the primary may have this
+        #: many uncommitted heights proposed at once (1 = the seed's
+        #: one-block-at-a-time behaviour).
+        self.pipeline_depth = pipeline_depth
+        self.height_window = max(self.HEIGHT_WINDOW, 2 * pipeline_depth)
         self.view = 0
         self._rounds: dict[tuple[int, int], _Round] = {}
+        #: height -> decided-but-unapplied block (commit quorum reached
+        #: out of order); drained strictly in height order by
+        #: :meth:`on_block_applied`.
+        self._commit_buffer: dict[int, _Decided] = {}
+        self._applying = False
         self._view_votes: dict[int, set[str]] = {}
         self._proposing = False
         self._tick_scheduled = False
@@ -223,11 +293,26 @@ class PBFTEngine(ConsensusEngine):
         if not self.view <= view <= self.view + self.VIEW_WINDOW:
             return False
         committed = self.peer.ledger.height
-        return committed < height <= committed + self.HEIGHT_WINDOW
+        return committed < height <= committed + self.height_window
+
+    def _note_lag_hint(self, src: str, height: int) -> None:
+        """A validator voting *beyond the pipeline window* implies a
+        chain longer than ours.  Heights inside the window are routine
+        pipelining, not lag — treating them as lag (as the seed's
+        ``height > committed + 1`` test would, at depth > 1) makes every
+        replica spam ranged fetches for blocks that are not committed
+        anywhere yet."""
+        assert self.peer is not None
+        if height > self.peer.ledger.height + self.pipeline_depth:
+            self.peer.sync.note_remote_height(src, height - 1)
 
     # -- lifecycle -----------------------------------------------------------
 
     def start(self) -> None:
+        if self.peer is not None:
+            self.peer.obs.gauge(
+                "pbft.pipeline_depth", peer=self.peer.node_id
+            ).set(self.pipeline_depth)
         self._schedule_tick()
         self._arm_view_timer()
 
@@ -255,26 +340,55 @@ class PBFTEngine(ConsensusEngine):
             # quorum and only wastes the round.
             and not peer.sync.is_lagging()
         ):
-            next_height = peer.ledger.height + 1
-            if self._round(self.view, next_height).digest is None:
-                self._propose(next_height)
+            base = peer.ledger.height
+            for height in range(base + 1, base + self.pipeline_depth + 1):
+                if len(peer.mempool) == 0:
+                    break
+                if height in self._commit_buffer:
+                    continue  # decided here; waiting on the gap below
+                state = self._rounds.get((self.view, height))
+                if state is not None and state.digest is not None:
+                    continue  # already proposed at this height this view
+                if not self._propose(height):
+                    break
         self._schedule_tick()
 
     # -- proposal (primary) ---------------------------------------------------
 
-    def _propose(self, height: int) -> None:
+    def _parent_digest(self, height: int) -> str | None:
+        """The digest a proposal at *height* must chain onto: the ledger
+        head for the first open height, otherwise the digest of the
+        in-flight (or decided-but-unapplied) proposal one below.  None
+        when the parent is unknown — a hole the primary must not propose
+        across."""
         peer = self.peer
         assert peer is not None
+        if height == peer.ledger.height + 1:
+            return peer.ledger.head.block_hash
+        decided = self._commit_buffer.get(height - 1)
+        if decided is not None:
+            return decided.digest
+        state = self._rounds.get((self.view, height - 1))
+        if state is not None and state.digest is not None:
+            return state.digest
+        return None
+
+    def _propose(self, height: int) -> bool:
+        peer = self.peer
+        assert peer is not None
+        prev_hash = self._parent_digest(height)
+        if prev_hash is None:
+            return False
         batch = peer.mempool.take(self.max_block_txs)
         if not batch:
-            return
+            return False
         self._observe_order_wait(batch)
         if getattr(peer, "byzantine", False):
-            self._propose_equivocating(height, batch)
-            return
+            self._propose_equivocating(height, prev_hash, batch)
+            return True
         block = Block.build(
             height=height,
-            prev_hash=peer.ledger.head.block_hash,
+            prev_hash=prev_hash,
             timestamp=peer.sim.now,
             proposer=peer.node_id,
             transactions=batch,
@@ -282,16 +396,33 @@ class PBFTEngine(ConsensusEngine):
         payload = {"view": self.view, "height": height, "block": block}
         peer.broadcast(_PRE_PREPARE, payload)
         self._accept_pre_prepare(self.view, height, block, peer.node_id)
+        return True
 
-    def _propose_equivocating(self, height: int, batch: list) -> None:
+    def _propose_equivocating(self, height: int, prev_hash: str, batch: list) -> None:
         """Byzantine primary: send conflicting blocks to the two halves
         of the network.  PBFT's prepare quorum ensures at most one of the
-        two digests can ever commit."""
+        two digests can ever commit.
+
+        Local round state is installed (block only — the equivocator does
+        not vote) so :meth:`_requeue_stale_round` can return the taken
+        transactions when the round is deposed; the seed skipped this,
+        so a deposed equivocator's transactions vanished, and with a
+        one-transaction batch its "conflicting" blocks were byte-identical
+        (no equivocation at all)."""
         peer = self.peer
         assert peer is not None
-        half = max(1, len(batch) // 2) if len(batch) > 1 else 1
-        block_a = Block.build(height, peer.ledger.head.block_hash, peer.sim.now, peer.node_id, batch[:half])
-        block_b = Block.build(height, peer.ledger.head.block_hash, peer.sim.now, peer.node_id, list(reversed(batch)))
+        block_a = Block.build(height, prev_hash, peer.sim.now, peer.node_id, list(batch))
+        conflicting = list(reversed(batch)) if len(batch) > 1 else []
+        block_b = Block.build(height, prev_hash, peer.sim.now, peer.node_id, conflicting)
+        state = self._round(self.view, height)
+        state.block = block_a
+        if state.started_at is None:
+            state.started_at = peer.sim.now
+        # The equivocator never votes for either digest itself; leaving
+        # ``digest`` unset keeps _maybe_advance inert for this round (it
+        # follows the winning block through commit certificates instead).
+        state.sent_prepare = True
+        state.sent_commit = True
         others = [v for v in self.validators if v != peer.node_id]
         for index, validator in enumerate(others):
             chosen = block_a if index % 2 == 0 else block_b
@@ -304,10 +435,18 @@ class PBFTEngine(ConsensusEngine):
         assert peer is not None
         if view != self.view or src != self.primary_for(view):
             return
-        if height != peer.ledger.height + 1:
-            if height > peer.ledger.height + 1:
-                # The primary is proposing past our head: we missed blocks.
-                peer.sync.note_remote_height(src, height - 1)
+        if height <= peer.ledger.height:
+            return
+        if height > peer.ledger.height + self.pipeline_depth:
+            # The primary is proposing beyond our pipeline window: either
+            # we missed blocks or it is misbehaving; treat as a lag hint.
+            peer.sync.note_remote_height(src, height - 1)
+            return
+        decided = self._commit_buffer.get(height)
+        if decided is not None:
+            # This height is already decided locally (quorum seen); a
+            # conflicting re-proposal must not gather our vote while the
+            # decided block is still applicable.
             return
         state = self._round(view, height)
         if state.digest is not None and state.digest != block.block_hash:
@@ -316,6 +455,10 @@ class PBFTEngine(ConsensusEngine):
         state.block = block
         if state.started_at is None:
             state.started_at = peer.sim.now
+            state.span = peer.tracer.start(
+                "pbft.round", peer=peer.node_id, height=height, view=view
+            )
+        self._reconcile_early_votes(state)
         if not state.sent_prepare and self._is_validator():
             state.sent_prepare = True
             state.prepares.add(peer.node_id)
@@ -324,19 +467,40 @@ class PBFTEngine(ConsensusEngine):
             )
         self._maybe_advance(view, height)
 
+    def _reconcile_early_votes(self, state: _Round) -> None:
+        """Promote stashed votes whose digest matches the just-installed
+        pre-prepare; votes for any other digest are discarded — they
+        must never count toward this round's quorum."""
+        digest = state.digest
+        for src, voted in state.early_prepares.items():
+            if voted == digest:
+                state.prepares.add(src)
+        state.early_prepares.clear()
+        for src, (voted, signature) in state.early_commits.items():
+            if voted != digest:
+                continue
+            state.commits.add(src)
+            if signature is not None and src in self.validator_keys:
+                state.commit_sigs[src] = signature
+        state.early_commits.clear()
+
     def _on_prepare(self, view: int, height: int, digest: str, src: str) -> None:
         assert self.peer is not None
         if not self._member(src):
             self._reject_nonvalidator()
             return  # only validators vote toward quorums
-        if height > self.peer.ledger.height + 1:
-            # A validator voting at a height we cannot reach implies a
-            # longer chain; a lie costs it a timed-out fetch, nothing more.
-            self.peer.sync.note_remote_height(src, height - 1)
+        self._note_lag_hint(src, height)
         if not self._in_window(view, height):
             return  # stale or far-future; don't allocate round state
+        if height in self._commit_buffer:
+            return  # already decided at this height
         state = self._round(view, height)
-        if state.digest is not None and digest != state.digest:
+        if state.digest is None:
+            # Pre-prepare not seen yet: stash the vote with the digest it
+            # names; it is counted (or dropped) at reconcile time.
+            state.early_prepares[src] = digest
+            return
+        if digest != state.digest:
             return
         state.prepares.add(src)
         self._maybe_advance(view, height)
@@ -351,23 +515,32 @@ class PBFTEngine(ConsensusEngine):
         if not self._check_vote_signature(src, height, digest, signature):
             self._reject_bad_signature()
             return  # known validator, bad/absent signature: forged vote
-        if height > self.peer.ledger.height + 1:
-            self.peer.sync.note_remote_height(src, height - 1)
+        self._note_lag_hint(src, height)
         if not self._in_window(view, height):
             return  # stale or far-future; don't allocate round state
+        if height in self._commit_buffer:
+            return  # already decided at this height
         state = self._round(view, height)
-        if state.digest is not None and digest != state.digest:
+        verified_sig = (
+            bytes(signature)
+            if isinstance(signature, (bytes, bytearray)) and src in self.validator_keys
+            else None
+        )
+        if state.digest is None:
+            state.early_commits[src] = (digest, verified_sig)
+            return
+        if digest != state.digest:
             return
         state.commits.add(src)
-        if isinstance(signature, (bytes, bytearray)) and src in self.validator_keys:
-            state.commit_sigs[src] = bytes(signature)
+        if verified_sig is not None:
+            state.commit_sigs[src] = verified_sig
         self._maybe_advance(view, height)
 
     def _maybe_advance(self, view: int, height: int) -> None:
         peer = self.peer
         assert peer is not None
-        state = self._round(view, height)
-        if state.digest is None:
+        state = self._rounds.get((view, height))
+        if state is None or state.digest is None:
             return
         if (
             not state.sent_commit
@@ -388,29 +561,114 @@ class PBFTEngine(ConsensusEngine):
             state.sent_commit
             and state.block is not None
             and len(state.commits) >= self.quorum
-            and height == peer.ledger.height + 1
         ):
-            block = state.block
-            certificate = sorted(state.commits)
-            if state.started_at is not None:
-                # Local pre-prepare → quorum-commit duration for this round.
-                peer.obs.histogram("pbft.round", peer=peer.node_id).observe(
-                    peer.sim.now - state.started_at
-                )
-            signatures = {
-                signer: sig.hex()
-                for signer, sig in state.commit_sigs.items()
-                if signer in state.commits
-            }
-            self._record_certificate(height, state.digest, certificate, signatures)
-            self._cleanup_height(height)
-            peer.commit_block(block)
-            peer.broadcast(
-                _COMMITTED,
-                {"block": block, "certificate": certificate, "signatures": signatures},
-            )
-            self._timer_height = peer.ledger.height
+            self._decide(view, height, state)
+
+    def _decide(self, view: int, height: int, state: _Round) -> None:
+        """Commit quorum reached for (view, height): apply now if it is
+        next in line, otherwise park it in the decided-block buffer until
+        the gap below closes (heights may decide out of order under
+        pipelining, but they always *apply* in order)."""
+        peer = self.peer
+        assert peer is not None
+        signatures = {
+            signer: sig.hex()
+            for signer, sig in state.commit_sigs.items()
+            if signer in state.commits
+        }
+        decided = _Decided(
+            block=state.block,
+            digest=state.digest,
+            certificate=sorted(state.commits),
+            signatures=signatures,
+            started_at=state.started_at,
+            span=state.span,
+        )
+        self._rounds.pop((view, height), None)
+        if height == peer.ledger.height + 1:
+            self._apply_decided(height, decided)
             self._arm_view_timer()
+            return
+        decided.buffered_at = peer.sim.now
+        self._commit_buffer[height] = decided
+        self._observe_commit_buffer()
+
+    def _apply_decided(self, height: int, decided: _Decided) -> None:
+        peer = self.peer
+        assert peer is not None
+        if decided.started_at is not None:
+            # Local pre-prepare → quorum-commit duration for this round.
+            peer.obs.histogram("pbft.round", peer=peer.node_id).observe(
+                peer.sim.now - decided.started_at
+            )
+        if decided.buffered_at is not None:
+            peer.obs.histogram("pbft.commit_buffer_wait", peer=peer.node_id).observe(
+                peer.sim.now - decided.buffered_at
+            )
+        if decided.span is not None:
+            peer.tracer.finish(decided.span, outcome="committed")
+        self._record_certificate(height, decided.digest, decided.certificate, decided.signatures)
+        self._cleanup_height(height)
+        peer.commit_block(decided.block)
+        peer.broadcast(
+            _COMMITTED,
+            {
+                "block": decided.block,
+                "certificate": decided.certificate,
+                "signatures": decided.signatures,
+            },
+        )
+        self._timer_height = peer.ledger.height
+
+    def on_block_applied(self, block: Block) -> None:
+        """Hook from :meth:`Peer.commit_block`: *any* applied block —
+        consensus-committed here, sync-fetched, or offered — may close
+        the gap below buffered decided blocks; drain them in order."""
+        if self._applying:
+            return  # a drain is already running above us on the stack
+        self._applying = True
+        try:
+            self._drain_commit_buffer()
+        finally:
+            self._applying = False
+
+    def _drain_commit_buffer(self) -> None:
+        peer = self.peer
+        assert peer is not None
+        if not self._commit_buffer:
+            return
+        while True:
+            # Entries at or below the head lost their height to another
+            # block (committed via sync while we sat on the quorum).
+            for stale in [h for h in self._commit_buffer if h <= peer.ledger.height]:
+                self._discard_decided(self._commit_buffer.pop(stale))
+            next_height = peer.ledger.height + 1
+            decided = self._commit_buffer.pop(next_height, None)
+            if decided is None:
+                break
+            if decided.block.prev_hash != peer.ledger.head.block_hash:
+                # Decided on top of a parent that lost its height across
+                # a view change: the block can never extend this chain.
+                self._discard_decided(decided)
+                continue
+            self._apply_decided(next_height, decided)
+        self._observe_commit_buffer()
+
+    def _discard_decided(self, decided: _Decided) -> None:
+        assert self.peer is not None
+        if decided.span is not None:
+            self.peer.tracer.finish(decided.span, outcome="discarded")
+        self._requeue_block_txs(decided.block)
+
+    def _observe_commit_buffer(self) -> None:
+        if self.peer is not None:
+            self.peer.obs.gauge(
+                "pbft.commit_buffer", peer=self.peer.node_id
+            ).set(len(self._commit_buffer))
+
+    def decided_heights(self) -> list[int]:
+        """Heights decided locally but not yet applied (auditor probe)."""
+        return sorted(self._commit_buffer)
 
     def _record_certificate(
         self,
@@ -442,15 +700,36 @@ class PBFTEngine(ConsensusEngine):
         receipt, and any re-queued copy of the *winning* block's own txs
         is removed again by ``commit_block``'s ``mempool.remove``.
         """
+        assert self.peer is not None
+        if state.span is not None:
+            self.peer.tracer.finish(state.span, outcome="superseded")
+        if state.block is None:
+            return
+        self._requeue_block_txs(state.block)
+
+    def _requeue_block_txs(self, block: Block) -> None:
         peer = self.peer
         assert peer is not None
-        if state.block is None or state.block.proposer != peer.node_id:
+        if block.proposer != peer.node_id:
             return
-        for tx in state.block.transactions:
-            if tx.tx_id not in peer.receipts:
-                peer.mempool.add(tx)
+        peer.mempool.requeue(
+            [tx for tx in block.transactions if tx.tx_id not in peer.receipts]
+        )
 
     # -- view change ----------------------------------------------------------
+
+    def _progress_token(self) -> tuple[int, int, int]:
+        """Snapshot of everything the stall check treats as progress:
+        the applied head plus the decided-block buffer's shape.  A
+        replica whose buffer gained a height since the timer was armed is
+        deciding blocks beyond the gap — pipelined progress, not a stall
+        — even though its ledger height has not moved yet."""
+        assert self.peer is not None
+        return (
+            self.peer.ledger.height,
+            len(self._commit_buffer),
+            max(self._commit_buffer, default=-1),
+        )
 
     def _arm_view_timer(self) -> None:
         # Exactly one outstanding timer per replica: commits would
@@ -461,22 +740,23 @@ class PBFTEngine(ConsensusEngine):
         peer = self.peer
         assert peer is not None
         self._timer_scheduled = True
-        expected = peer.ledger.height
+        expected = self._progress_token()
         self._timer_event = self.peer.sim.schedule(
             self.view_timeout,
             lambda: self._view_timer_fired(expected),
             label=f"pbft-timer:{peer.node_id}",
         )
 
-    def _view_timer_fired(self, expected_height: int) -> None:
+    def _view_timer_fired(self, expected: tuple[int, int, int]) -> None:
         self._timer_scheduled = False
         if self.stopped:
             return
         peer = self.peer
         assert peer is not None
-        stalled = peer.ledger.height == expected_height and (
-            len(peer.mempool) > 0 or any(True for _ in self._rounds)
+        has_work = (
+            len(peer.mempool) > 0 or bool(self._rounds) or bool(self._commit_buffer)
         )
+        stalled = has_work and self._progress_token() == expected
         if stalled and not peer.crashed and self._is_validator():
             proposal = self.view + 1
             self._vote_view_change(proposal, peer.node_id)
@@ -496,23 +776,30 @@ class PBFTEngine(ConsensusEngine):
             self.view_changes_completed += 1
             if self.peer is not None:
                 self.peer.obs.counter("pbft.view_changes", peer=self.peer.node_id).inc()
+            # Re-queue across the whole pipeline window: every deposed
+            # round at every in-flight height returns its transactions.
             for key in [k for k in self._rounds if k[0] < new_view]:
                 self._requeue_stale_round(self._rounds.pop(key))
             self._view_votes = {v: s for v, s in self._view_votes.items() if v > new_view}
 
     def pending_txs(self) -> set[str]:
-        """Tx ids held in open (uncommitted) rounds.
+        """Tx ids held in open (uncommitted) rounds and in the decided
+        buffer.
 
         The durability auditor counts these as pending: a replica cut
         off from a view change it never saw keeps its in-flight round
         alive, and the transactions in it are retained, not dropped —
         they re-enter the mempool the moment the round is superseded
-        (see ``_requeue_stale_round``).
+        (see ``_requeue_stale_round``).  Decided-but-unapplied blocks
+        likewise hold their transactions until they apply or are
+        discarded (and re-queued).
         """
         held: set[str] = set()
         for state in self._rounds.values():
             if state.block is not None:
                 held.update(tx.tx_id for tx in state.block.transactions)
+        for decided in self._commit_buffer.values():
+            held.update(tx.tx_id for tx in decided.block.transactions)
         return held
 
     # -- sync -------------------------------------------------------------------
@@ -617,19 +904,29 @@ class PBFTEngine(ConsensusEngine):
         self._cleanup_height(block.height)
 
     def on_restart(self) -> None:
-        """Crash-restart: open rounds, vote tallies, and timers are
-        volatile and do not survive; the view number is recovered from
-        stable storage (Castro–Liskov §4.3 persists it for exactly this
-        reason), so it is kept."""
+        """Crash-restart: open rounds, vote tallies, the decided-block
+        buffer, and timers are volatile and do not survive; the view
+        number is recovered from stable storage (Castro–Liskov §4.3
+        persists it for exactly this reason), so it is kept."""
         for event in (self._tick_event, self._timer_event):
             if event is not None:
                 event.cancel()
         self._tick_event = self._timer_event = None
+        if self.peer is not None:
+            for state in self._rounds.values():
+                if state.span is not None:
+                    self.peer.tracer.finish(state.span, outcome="restart")
+            for decided in self._commit_buffer.values():
+                if decided.span is not None:
+                    self.peer.tracer.finish(decided.span, outcome="restart")
         self._rounds.clear()
+        self._commit_buffer.clear()
+        self._observe_commit_buffer()
         self._view_votes.clear()
         self._tick_scheduled = False
         self._timer_scheduled = False
         self._timer_height = -1
+        self._applying = False
         self.start()
 
     # -- dispatch ----------------------------------------------------------------

@@ -3,6 +3,15 @@
 FIFO with dedup by transaction id.  The pool also enforces a capacity so
 scalability experiments can observe back-pressure instead of unbounded
 memory growth.
+
+Transactions removed by :meth:`Mempool.take` stay *reserved* until they
+either commit (``remove``) or are explicitly returned (``requeue`` /
+``release``).  Without the reservation, a gossip echo of a transaction
+already taken into an in-flight proposal re-enters the pool and — under
+pipelined consensus, where several proposals are open at once — gets
+taken again into a second block at a different height: a double-commit
+hazard that cannot occur with one block in flight but is routine at
+pipeline depth > 1.
 """
 
 from __future__ import annotations
@@ -21,13 +30,20 @@ class Mempool:
 
     def __init__(self, capacity: int = 100_000):
         self._pending: OrderedDict[str, Transaction] = OrderedDict()
+        #: Tx ids handed out by ``take`` whose fate (commit / requeue) is
+        #: still open; membership and admission treat them as present.
+        self._reserved: set[str] = set()
         self.capacity = capacity
         self.rejected_full = 0
         self.rejected_duplicate = 0
 
     def add(self, tx: Transaction) -> bool:
-        """Admit a transaction; False if duplicate or pool is full."""
-        if tx.tx_id in self._pending:
+        """Admit a transaction; False if duplicate or pool is full.
+
+        A transaction currently reserved by an in-flight proposal is a
+        duplicate — re-admitting it would let it be proposed twice.
+        """
+        if tx.tx_id in self._pending or tx.tx_id in self._reserved:
             self.rejected_duplicate += 1
             return False
         if len(self._pending) >= self.capacity:
@@ -37,14 +53,41 @@ class Mempool:
         return True
 
     def take(self, max_count: int) -> list[Transaction]:
-        """Remove and return up to *max_count* transactions, FIFO."""
+        """Remove and return up to *max_count* transactions, FIFO.
+
+        Taken transactions stay reserved until ``remove`` (committed) or
+        ``requeue``/``release`` (proposal died) settles them.
+        """
         if max_count <= 0:
             raise ChainError("max_count must be positive")
         batch: list[Transaction] = []
         while self._pending and len(batch) < max_count:
-            _, tx = self._pending.popitem(last=False)
+            tx_id, tx = self._pending.popitem(last=False)
+            self._reserved.add(tx_id)
             batch.append(tx)
         return batch
+
+    def requeue(self, txs: Iterable[Transaction]) -> None:
+        """Return previously taken transactions to the FRONT of the pool.
+
+        Used when a proposal dies (view change, superseded height): the
+        transactions were admitted once and must not be silently dropped,
+        so capacity is NOT enforced here — durability outranks the
+        back-pressure bound.  Front placement preserves rough FIFO order
+        (they were the oldest pending work).
+        """
+        for tx in reversed(list(txs)):
+            self._reserved.discard(tx.tx_id)
+            if tx.tx_id in self._pending:
+                continue
+            self._pending[tx.tx_id] = tx
+            self._pending.move_to_end(tx.tx_id, last=False)
+
+    def release(self, tx_ids: Iterable[str]) -> None:
+        """Drop reservations without re-admitting (e.g. txs that turned
+        out to be committed elsewhere)."""
+        for tx_id in tx_ids:
+            self._reserved.discard(tx_id)
 
     def snapshot(self) -> list[Transaction]:
         """The pending transactions, in FIFO order, without removing them."""
@@ -54,13 +97,17 @@ class Mempool:
         """Drop transactions that were committed via someone else's block.
 
         Accepts any iterable (consensus callers pass generators), and
-        consumes it exactly once.
+        consumes it exactly once.  Also settles any open reservation for
+        the id — committed is a final state.
         """
         for tx_id in tx_ids:
             self._pending.pop(tx_id, None)
+            self._reserved.discard(tx_id)
 
     def __len__(self) -> int:
         return len(self._pending)
 
     def __contains__(self, tx_id: str) -> bool:
-        return tx_id in self._pending
+        """True for pending *or* reserved ids: both mean "this pool has
+        already accepted this transaction" for admission purposes."""
+        return tx_id in self._pending or tx_id in self._reserved

@@ -84,6 +84,7 @@ class BlockchainNetwork:
         byzantine_peers: set[str] | None = None,
         view_timeout: float = 10.0,
         drop_probability: float = 0.0,
+        pipeline_depth: int = 4,
     ):
         if consensus == "pbft" and n_peers < 4:
             raise ChainError("PBFT requires at least 4 peers")
@@ -108,6 +109,8 @@ class BlockchainNetwork:
         self.block_interval = block_interval
         self.max_block_txs = max_block_txs
         self.view_timeout = view_timeout
+        #: PBFT in-flight sequence-number window (1 = unpipelined).
+        self.pipeline_depth = pipeline_depth
         peer_ids = [f"peer-{i}" for i in range(n_peers)]
         self._validator_ids = list(peer_ids)
         byzantine_peers = byzantine_peers or set()
@@ -123,6 +126,7 @@ class BlockchainNetwork:
                     block_interval=block_interval,
                     view_timeout=view_timeout,
                     max_block_txs=max_block_txs,
+                    pipeline_depth=pipeline_depth,
                 )
             executor = ShardedExecutor(n_shards) if n_shards else None
             peer = Peer(
@@ -190,6 +194,7 @@ class BlockchainNetwork:
             engine = PBFTEngine(
                 self._validator_ids, block_interval=self.block_interval,
                 view_timeout=self.view_timeout, max_block_txs=self.max_block_txs,
+                pipeline_depth=self.pipeline_depth,
             )
         peer = Peer(
             node_id=node_id,

@@ -305,6 +305,10 @@ class Peer(NetworkNode):
         for listener in self.commit_listeners:
             listener(self, block)
         self.tracer.finish(span, valid=len(valid_txs), invalid=len(block) - len(valid_txs))
+        # After the listeners: a pipelined engine may apply buffered
+        # decided blocks here, and each re-enters commit_block — the
+        # auditor must have seen *this* block first.
+        self.engine.on_block_applied(block)
 
     def _validate_transaction(self, tx: Transaction) -> tuple[bool, str | None]:
         try:

@@ -20,7 +20,11 @@ Lag detection has two inputs:
   :meth:`SyncManager.note_remote_height` when a validator's message
   implies a chain longer than ours (a pre-prepare, prepare, or commit
   for a height we cannot reach, or a committed-block broadcast beyond
-  our head).
+  our head).  Under pipelined PBFT, consensus messages up to
+  ``pipeline_depth`` heights ahead are *routine* — the engine only
+  forwards hints for heights beyond its pipeline window, so the fetch
+  machinery is not spun up for blocks that are not committed anywhere
+  yet.
 
 Fetching is a single in-flight ranged request at a time with a
 per-request timeout, bounded per-provider retries, exponential backoff
@@ -301,7 +305,11 @@ class SyncManager:
         height = block.height
         if height <= self.peer.ledger.height:
             return
-        if height > self.known_heights.get(src, -1):
+        if src != self.peer.node_id and height > self.known_heights.get(src, -1):
+            # Never count ourselves as a provider: a self-offer (possible
+            # under pipelining, where decided blocks sit ahead of the
+            # applied head) must not make is_lagging() true against our
+            # own claim and stall the proposer.
             self.known_heights[src] = height
         if height == self.peer.ledger.height + 1:
             if self._verify_and_apply(block, proof):
@@ -314,6 +322,7 @@ class SyncManager:
             if height not in self._future:
                 self.metrics.buffered_future += 1
             self._future[height] = (block, proof)
+            self._observe_future()
         self.maybe_sync()
 
     def _verify_and_apply(self, block: Block, proof: Any) -> bool:
@@ -342,6 +351,12 @@ class SyncManager:
                 break
         for height in [h for h in self._future if h <= peer.ledger.height]:
             del self._future[height]
+        self._observe_future()
+
+    def _observe_future(self) -> None:
+        self.peer.obs.gauge("sync.future_buffer", peer=self.peer.node_id).set(
+            len(self._future)
+        )
 
     # -- fetch machinery ---------------------------------------------------
 

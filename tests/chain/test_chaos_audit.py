@@ -32,6 +32,7 @@ def run_chaos_audited(
     duration: float = 24.0,
     settle: float = 40.0,
     n_txs: int = 12,
+    pipeline_depth: int = 4,
 ) -> tuple[BlockchainNetwork, InvariantAuditor, ChaosSchedule]:
     """One audited chaos run; returns the network, auditor, and schedule."""
     from tests.conftest import CounterContract
@@ -41,6 +42,7 @@ def run_chaos_audited(
         n_peers=4, consensus=consensus, block_interval=0.5,
         latency=UniformLatency(0.01, 0.08), seed=seed, view_timeout=4.0,
         drop_probability=rng.choice([0.0, 0.02]),
+        pipeline_depth=pipeline_depth,
     )
     network.install_contract(CounterContract)
     auditor = InvariantAuditor(network)  # strict: violations raise mid-run
@@ -107,7 +109,7 @@ def test_rounds_bounded_after_chaos():
     network, _, _ = run_chaos_audited(2)
     for peer in network.peers:
         engine = peer.engine
-        assert len(engine._rounds) <= engine.HEIGHT_WINDOW * (engine.VIEW_WINDOW + 1)
+        assert len(engine._rounds) <= engine.height_window * (engine.VIEW_WINDOW + 1)
         assert len(engine._view_votes) <= engine.VIEW_WINDOW + 1
 
 

@@ -98,6 +98,82 @@ def test_fifo_preserved_across_remove():
     assert [t.tx_id for t in batch] == [txs[0].tx_id, txs[2].tx_id, txs[4].tx_id]
 
 
+def test_taken_txs_stay_reserved():
+    """A tx taken into an in-flight proposal must not be re-admittable:
+    a gossip echo re-entering the pool could be proposed again at a
+    second height under pipelined consensus (double-commit hazard)."""
+    pool = Mempool()
+    tx = _tx(1)
+    pool.add(tx)
+    pool.take(1)
+    assert tx.tx_id in pool  # reserved counts as "accepted here"
+    assert not pool.add(tx)
+    assert pool.rejected_duplicate == 1
+    assert len(pool) == 0  # but it is not pending (take removed it)
+
+
+def test_reservation_settled_by_remove():
+    pool = Mempool()
+    tx = _tx(1)
+    pool.add(tx)
+    pool.take(1)
+    pool.remove([tx.tx_id])  # committed: final state
+    assert tx.tx_id not in pool
+    assert pool.add(tx)  # a later duplicate copy may be re-admitted
+
+
+def test_requeue_returns_to_front_and_clears_reservation():
+    pool = Mempool()
+    taken = [_tx(1), _tx(2)]
+    later = _tx(3)
+    for tx in taken:
+        pool.add(tx)
+    batch = pool.take(2)
+    pool.add(later)
+    pool.requeue(batch)
+    assert len(pool) == 3
+    # Front placement: the requeued (older) txs come out first, in order.
+    assert [t.tx_id for t in pool.take(3)] == [
+        taken[0].tx_id, taken[1].tx_id, later.tx_id,
+    ]
+
+
+def test_requeue_bypasses_capacity():
+    """Durability outranks back-pressure: a dead proposal's txs must not
+    be dropped just because the pool refilled while they were out."""
+    pool = Mempool(capacity=2)
+    taken = [_tx(1), _tx(2)]
+    for tx in taken:
+        pool.add(tx)
+    batch = pool.take(2)
+    assert pool.add(_tx(3)) and pool.add(_tx(4))  # pool full again
+    pool.requeue(batch)
+    assert len(pool) == 4
+    assert all(tx.tx_id in pool for tx in taken)
+
+
+def test_requeue_is_idempotent():
+    pool = Mempool()
+    tx = _tx(1)
+    pool.add(tx)
+    batch = pool.take(1)
+    pool.requeue(batch)
+    pool.requeue(batch)  # a double requeue must not duplicate the tx
+    assert len(pool) == 1
+    assert [t.tx_id for t in pool.take(5)] == [tx.tx_id]
+
+
+def test_release_drops_reservation_without_readmitting():
+    pool = Mempool()
+    tx = _tx(1)
+    pool.add(tx)
+    pool.take(1)
+    pool.release([tx.tx_id])
+    assert tx.tx_id not in pool
+    assert len(pool) == 0
+    assert pool.add(tx)
+
+
 def test_duplicate_counting_accumulates():
     pool = Mempool()
     tx_a, tx_b = _tx(1), _tx(2)

@@ -172,7 +172,7 @@ def test_rounds_stay_bounded_under_garbage_flood():
     network.stop()
     for peer in network.peers:
         engine = peer.engine
-        assert len(engine._rounds) <= engine.HEIGHT_WINDOW * (engine.VIEW_WINDOW + 1)
+        assert len(engine._rounds) <= engine.height_window * (engine.VIEW_WINDOW + 1)
         assert len(engine._rounds) < 20  # and in practice: a handful
         assert len(engine._view_votes) <= engine.VIEW_WINDOW + 1
 
