@@ -102,7 +102,13 @@ class AnalysisConfig:
     #: Classes whose instances cross the peer message boundary: methods
     #: returning references to their mutable ``__init__`` state leak
     #: shared-aliasing bugs between peers (ALIAS002).
-    boundary_classes: tuple[str, ...] = ("Peer", "SyncManager", "WorldState", "Mempool")
+    #: The storage classes are boundary classes too: a recovered chain
+    #: is handed to the peer, so a store method returning a reference to
+    #: its own mutable state would alias the store into live consensus.
+    boundary_classes: tuple[str, ...] = (
+        "Peer", "SyncManager", "WorldState", "Mempool",
+        "DurableStore", "BlockLog", "SimDisk",
+    )
     #: Directory names skipped during directory walks — the linter's own
     #: known-bad fixture corpus lives in tests/analysis/fixtures/.
     #: Files passed explicitly on the command line are always analyzed.

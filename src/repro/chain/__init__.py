@@ -32,6 +32,14 @@ from repro.chain.mempool import Mempool
 from repro.chain.network import BlockchainNetwork, ChainClient
 from repro.chain.peer import Admission, Peer
 from repro.chain.state import StateSnapshot, WorldState
+from repro.chain.store import (
+    BlockStore,
+    Degradation,
+    DurableStore,
+    MemoryStore,
+    RecoveredChain,
+    RecoveryReport,
+)
 from repro.chain.sync import SyncManager, SyncMetrics
 from repro.chain.transaction import Endorsement, Transaction, TxReceipt
 
@@ -67,6 +75,12 @@ __all__ = [
     "SyncMetrics",
     "StateSnapshot",
     "WorldState",
+    "BlockStore",
+    "Degradation",
+    "DurableStore",
+    "MemoryStore",
+    "RecoveredChain",
+    "RecoveryReport",
     "Endorsement",
     "Transaction",
     "TxReceipt",

@@ -29,7 +29,16 @@ checks, cheap) and again at end-of-run (full-ledger forensics):
 - **pipeline consistency** — under pipelined PBFT, an engine's
   decided-but-unapplied buffer must only ever hold heights *above* the
   applied head: a decided block at or below it means the drain logic
-  lost a block or applied out of order.
+  lost a block or applied out of order;
+- **storage durability** — on peers with a durable store
+  (:class:`repro.chain.store.DurableStore`), every block the store
+  acknowledged durable and that survived injected disk faults must be
+  present and hash-identical in the recovered ledger, and every acked
+  block that did *not* survive must be explained by a counted recovery
+  degradation (torn tail, partial flush, corruption) — a silent loss of
+  an acknowledged write is the one failure a durable store may never
+  exhibit.  Recovered peers still re-converge via the existing catch-up
+  and convergence checks.
 
 Crash-*restart* faults (see :meth:`~repro.simnet.failure.
 FailureSchedule.restart_at`) legitimately wipe a peer's mempool; the
@@ -81,7 +90,7 @@ class AuditViolation(ChainError):
         peers: tuple[str, ...] = (),
         forensics: dict[str, Any] | None = None,
     ):
-        self.invariant = invariant  # "agreement" | "certificate" | "durability" | "convergence" | "catchup" | "pipeline"
+        self.invariant = invariant  # "agreement" | "certificate" | "durability" | "convergence" | "catchup" | "pipeline" | "storage"
         self.detail = detail
         self.height = height
         self.peers = tuple(peers)
@@ -150,6 +159,7 @@ class InvariantAuditor:
 
     def _on_peer_restarted(self, peer: "Peer", wiped: set[str]) -> None:
         self.restart_wiped |= wiped
+        self._check_storage_recovery(peer)
 
     def on_tx_admitted(self, tx: "Transaction") -> None:
         """Record an admitted transaction for the durability invariant."""
@@ -255,6 +265,7 @@ class InvariantAuditor:
         self.check_convergence()
         self.check_catchup(failures=failures, sync_window=sync_window)
         self.check_pipeline()
+        self.check_storage(failures=failures)
         return list(self.violations)
 
     def check_agreement(self) -> None:
@@ -493,6 +504,111 @@ class InvariantAuditor:
                     peers=(peer.node_id,),
                     forensics={
                         "buffered_heights": decided(),
+                        "ledger_height": peer.ledger.height,
+                    },
+                )
+
+    def check_storage(self, failures: list["FailureEvent"] | None = None) -> None:
+        """Storage durability on peers with a durable store.
+
+        Three obligations, audited per peer against the store's own
+        acked map (``height -> (block_hash, payload crc)``, recorded at
+        fsync time and *never* used to rebuild state, so it is
+        independent ground truth):
+
+        - every acknowledged block that survived recovery must be
+          present and hash-identical in the live ledger;
+        - every acknowledged block that did **not** survive must be
+          explained by a recorded (and counted) degradation — a durable
+          store may lose acked writes only to an injected disk fault it
+          *detected*, never silently;
+        - given the fault log, a peer that suffered no disk fault may
+          not have lost any acknowledged write at all.
+
+        The per-kind ``store.degradations`` counters are cross-checked
+        against the recovery reports so the observability path cannot
+        drift from the forensics path.
+        """
+        self.checks_run += 1
+        disk_faulted = {
+            e.target for e in (failures or []) if e.action.startswith("disk-")
+        }
+        for peer in self.network.peers:
+            if peer.byzantine:
+                continue
+            store = peer.store
+            acked = getattr(store, "acked", None)
+            if acked is None:
+                continue  # in-memory backend: nothing durable to audit
+            self._check_acked_in_ledger(peer, acked)
+            reports = list(getattr(store, "reports", ()))
+            lost = sum(len(r.missing_acked) for r in reports)
+            degraded = sum(len(r.degradations) for r in reports)
+            if lost and not degraded:
+                self._violate(
+                    "storage",
+                    f"{lost} acknowledged block(s) lost with no recorded degradation",
+                    peers=(peer.node_id,),
+                    forensics={"reports": [r.summary() for r in reports]},
+                )
+            if lost and failures is not None and peer.node_id not in disk_faulted:
+                self._violate(
+                    "storage",
+                    f"{lost} acknowledged block(s) lost although no disk fault "
+                    "was injected on this peer",
+                    peers=(peer.node_id,),
+                    forensics={"reports": [r.summary() for r in reports]},
+                )
+            counted = sum(
+                c.value
+                for c in self._obs.counters("store.degradations")
+                if c.labels.get("peer") == peer.node_id
+            )
+            if counted < degraded:
+                self._violate(
+                    "storage",
+                    f"recovery reports list {degraded} degradation(s) but only "
+                    f"{counted:g} were counted in store.degradations",
+                    peers=(peer.node_id,),
+                    forensics={"counted": counted, "reported": degraded},
+                )
+
+    def _check_storage_recovery(self, peer: "Peer") -> None:
+        """Incremental storage audit, run the moment a peer restarts
+        through its store (before sync can paper over a bad recovery)."""
+        store = peer.store
+        report = getattr(store, "last_recovery", None)
+        if report is None:
+            return  # in-memory backend, or the store has never recovered
+        self.checks_run += 1
+        self._check_acked_in_ledger(peer, store.acked)
+        if report.missing_acked and not report.degradations:
+            self._violate(
+                "storage",
+                f"recovery lost {len(report.missing_acked)} acknowledged "
+                "block(s) without recording a degradation",
+                peers=(peer.node_id,),
+                forensics={"report": report.summary()},
+            )
+
+    def _check_acked_in_ledger(
+        self, peer: "Peer", acked: dict[int, tuple[str, int]]
+    ) -> None:
+        for height, (block_hash, _crc) in sorted(acked.items()):
+            actual = (
+                peer.ledger.block(height).block_hash
+                if 0 < height <= peer.ledger.height
+                else None
+            )
+            if actual != block_hash:
+                self._violate(
+                    "storage",
+                    "block acknowledged durable is missing or differs after recovery",
+                    height=height,
+                    peers=(peer.node_id,),
+                    forensics={
+                        "acked_hash": block_hash,
+                        "ledger_hash": actual,
                         "ledger_height": peer.ledger.height,
                     },
                 )

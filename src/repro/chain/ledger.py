@@ -9,15 +9,19 @@ contract.
 
 from __future__ import annotations
 
-from collections import defaultdict
+from collections import OrderedDict, defaultdict
 from dataclasses import dataclass
-from typing import Any, Iterator
+from typing import Any, Callable, Iterator
 
 from repro.chain.block import Block, make_genesis_block
 from repro.chain.transaction import Transaction
 from repro.errors import InvalidBlockError
 
 __all__ = ["Ledger", "CommittedTx"]
+
+#: Archived blocks decoded on demand are cached up to this many entries
+#: (LRU) so repeated explorer/audit reads don't re-decode every time.
+_ARCHIVE_CACHE_SIZE = 128
 
 
 @dataclass(frozen=True)
@@ -31,19 +35,70 @@ class CommittedTx:
 
 
 class Ledger:
-    """One peer's copy of the chain."""
+    """One peer's copy of the chain.
+
+    A ledger normally holds every block in memory (``_base == 0``).  A
+    ledger rebuilt by the durable store's snapshot recovery holds only
+    the blocks *above* the snapshot; heights below come from an
+    ``archive`` callable (decoding the block log on demand) behind a
+    bounded LRU cache — see :meth:`from_recovery`.
+    """
 
     def __init__(self, genesis: Block | None = None):
         self._blocks: list[Block] = [genesis or make_genesis_block()]
+        #: Height of ``self._blocks[0]``; anything below is archived.
+        self._base = 0
+        self._archive: Callable[[int], Block] | None = None
+        self._archive_cache: OrderedDict[int, Block] = OrderedDict()
         self._tx_locator: dict[str, tuple[int, int]] = {}
         self._validity: dict[str, bool] = {}
         self._by_sender: dict[str, list[str]] = defaultdict(list)
         self._by_contract: dict[str, list[str]] = defaultdict(list)
 
+    @classmethod
+    def from_recovery(
+        cls,
+        window: list[Block],
+        base: int,
+        indexes: dict[str, Any],
+        archive: Callable[[int], Block] | None = None,
+    ) -> "Ledger":
+        """Rebuild a ledger from a recovery snapshot.
+
+        *window* is the in-memory block window starting at height *base*
+        (the snapshot anchor); *indexes* is a :meth:`index_dump` mapping
+        covering heights ``<= base``; *archive* serves heights below
+        *base* on demand.
+        """
+        ledger = cls.__new__(cls)
+        ledger._blocks = list(window)
+        ledger._base = base
+        ledger._archive = archive
+        ledger._archive_cache = OrderedDict()
+        ledger._tx_locator = {
+            tx_id: (loc[0], loc[1]) for tx_id, loc in indexes.get("tx_locator", {}).items()
+        }
+        ledger._validity = {k: bool(v) for k, v in indexes.get("validity", {}).items()}
+        ledger._by_sender = defaultdict(list)
+        for sender, tx_ids in indexes.get("by_sender", {}).items():
+            ledger._by_sender[sender] = list(tx_ids)
+        ledger._by_contract = defaultdict(list)
+        for contract, tx_ids in indexes.get("by_contract", {}).items():
+            ledger._by_contract[contract] = list(tx_ids)
+        return ledger
+
     # -- growth ------------------------------------------------------------
 
     def append(self, block: Block, validity: list[bool]) -> None:
-        """Append a block whose per-tx validity verdicts are *validity*."""
+        """Append a block whose per-tx validity verdicts are *validity*.
+
+        Atomic: every check — and every read of the block's transactions
+        — happens before the first mutation, so an exception (bad
+        linkage, a hostile transaction object raising mid-indexing)
+        leaves the ledger exactly as it was.  The seed version appended
+        the block *before* building the indexes; a failure there left a
+        committed block invisible to ``tx_locator``/``by_sender`` lookups.
+        """
         head = self.head
         if block.height != head.height + 1:
             raise InvalidBlockError(
@@ -54,12 +109,16 @@ class Ledger:
         block.verify_structure()
         if len(validity) != len(block.transactions):
             raise InvalidBlockError("validity vector length mismatch")
+        entries = [
+            (tx.tx_id, index, tx.sender, tx.contract)
+            for index, tx in enumerate(block.transactions)
+        ]
         self._blocks.append(block)
-        for index, tx in enumerate(block.transactions):
-            self._tx_locator[tx.tx_id] = (block.height, index)
-            self._validity[tx.tx_id] = validity[index]
-            self._by_sender[tx.sender].append(tx.tx_id)
-            self._by_contract[tx.contract].append(tx.tx_id)
+        for tx_id, index, sender, contract in entries:
+            self._tx_locator[tx_id] = (block.height, index)
+            self._validity[tx_id] = validity[index]
+            self._by_sender[sender].append(tx_id)
+            self._by_contract[contract].append(tx_id)
 
     # -- access ------------------------------------------------------------
 
@@ -72,14 +131,27 @@ class Ledger:
         return self.head.height
 
     def block(self, height: int) -> Block:
-        return self._blocks[height]
+        if height < 0 or height >= self._base:
+            return self._blocks[height - self._base if height >= 0 else height]
+        cached = self._archive_cache.get(height)
+        if cached is not None:
+            self._archive_cache.move_to_end(height)
+            return cached
+        if self._archive is None:
+            raise InvalidBlockError(f"height {height} is below the recovered window")
+        block = self._archive(height)
+        self._archive_cache[height] = block
+        if len(self._archive_cache) > _ARCHIVE_CACHE_SIZE:
+            self._archive_cache.popitem(last=False)
+        return block
 
     def blocks(self) -> Iterator[Block]:
-        return iter(self._blocks)
+        for height in range(self.height + 1):
+            yield self.block(height)
 
     def __len__(self) -> int:
         """Number of blocks, including genesis."""
-        return len(self._blocks)
+        return self.height + 1
 
     def __contains__(self, tx_id: str) -> bool:
         return tx_id in self._tx_locator
@@ -90,7 +162,7 @@ class Ledger:
             return None
         height, index = locator
         return CommittedTx(
-            transaction=self._blocks[height].transactions[index],
+            transaction=self.block(height).transactions[index],
             block_height=height,
             tx_index=index,
             valid=self._validity[tx_id],
@@ -98,7 +170,7 @@ class Ledger:
 
     def transactions(self, valid_only: bool = True) -> Iterator[CommittedTx]:
         """All committed transactions, in chain order."""
-        for block in self._blocks:
+        for block in self.blocks():
             for index, tx in enumerate(block.transactions):
                 valid = self._validity[tx.tx_id]
                 if valid or not valid_only:
@@ -137,11 +209,23 @@ class Ledger:
     def verify_chain(self) -> bool:
         """Full-chain audit: hashes link and every block is internally
         consistent.  Returns True on success, raises on tampering."""
-        for prev, current in zip(self._blocks, self._blocks[1:]):
+        prev = self.block(0)
+        for height in range(1, self.height + 1):
+            current = self.block(height)
             current.verify_structure()
             if current.prev_hash != prev.block_hash:
                 raise InvalidBlockError(f"chain broken at height {current.height}")
+            prev = current
         return True
+
+    def index_dump(self) -> dict[str, Any]:
+        """JSON-ready copy of the secondary indexes, for snapshots."""
+        return {
+            "tx_locator": {k: list(v) for k, v in self._tx_locator.items()},
+            "validity": dict(self._validity),
+            "by_sender": {k: list(v) for k, v in self._by_sender.items()},
+            "by_contract": {k: list(v) for k, v in self._by_contract.items()},
+        }
 
     def replay_state(self):
         """Rebuild the world state by replaying valid write sets in order.

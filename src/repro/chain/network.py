@@ -22,15 +22,17 @@ from typing import Any, Callable, Literal
 from repro.chain.consensus import PBFTEngine, RoundRobinOrderer, ShardedExecutor
 from repro.chain.contracts import Contract, ContractRegistry, EndorsementPolicy  # noqa: F401 - re-exported
 from repro.chain.peer import Admission, Peer
+from repro.chain.store import BlockStore, DurableStore, MemoryStore
 from repro.chain.transaction import Transaction, TxReceipt
 from repro.crypto.keys import KeyPair
 from repro.errors import ChainError, ContractError, EndorsementError
 from repro.obs import MetricsRegistry, Tracer
-from repro.simnet import LatencyModel, Network, Simulator
+from repro.simnet import LatencyModel, Network, SimDisk, Simulator
 
 __all__ = ["BlockchainNetwork", "ChainClient"]
 
 ConsensusKind = Literal["poa", "pbft"]
+StorageKind = Literal["memory", "durable"]
 
 
 @dataclass
@@ -85,6 +87,8 @@ class BlockchainNetwork:
         view_timeout: float = 10.0,
         drop_probability: float = 0.0,
         pipeline_depth: int = 4,
+        storage: StorageKind = "memory",
+        snapshot_interval: int = 64,
     ):
         if consensus == "pbft" and n_peers < 4:
             raise ChainError("PBFT requires at least 4 peers")
@@ -99,6 +103,7 @@ class BlockchainNetwork:
             drop_probability=drop_probability, obs=self.obs,
         )
         self.rng = random.Random(seed + 1)
+        self.seed = seed
         self.consensus = consensus
         self.peers: list[Peer] = []
         #: Attached :class:`repro.chain.audit.InvariantAuditor` instances;
@@ -111,6 +116,11 @@ class BlockchainNetwork:
         self.view_timeout = view_timeout
         #: PBFT in-flight sequence-number window (1 = unpipelined).
         self.pipeline_depth = pipeline_depth
+        #: ``"memory"`` keeps the seed in-memory ledger; ``"durable"``
+        #: gives every peer a fault-injectable SimDisk + DurableStore so
+        #: restart is snapshot+tail recovery, not full replay.
+        self.storage = storage
+        self.snapshot_interval = snapshot_interval
         peer_ids = [f"peer-{i}" for i in range(n_peers)]
         self._validator_ids = list(peer_ids)
         byzantine_peers = byzantine_peers or set()
@@ -138,6 +148,7 @@ class BlockchainNetwork:
                 byzantine=peer_id in byzantine_peers,
                 obs=self.obs,
                 tracer=self.tracer,
+                store=self._make_store(peer_id),
             )
             self.net.add_node(peer)
             self.peers.append(peer)
@@ -152,6 +163,18 @@ class BlockchainNetwork:
         for peer in self.peers:
             peer.engine.start()
             peer.sync.start()
+
+    def _make_store(self, peer_id: str) -> BlockStore:
+        """One storage backend per peer, per the network's ``storage``."""
+        if self.storage == "durable":
+            disk = SimDisk(
+                node_id=peer_id,
+                rng=random.Random(f"disk:{self.seed}:{peer_id}"),
+            )
+            return DurableStore(
+                disk=disk, node_id=peer_id, snapshot_interval=self.snapshot_interval
+            )
+        return MemoryStore()
 
     # -- deployment -------------------------------------------------------
 
@@ -203,6 +226,7 @@ class BlockchainNetwork:
             engine=engine,
             obs=self.obs,
             tracer=self.tracer,
+            store=self._make_store(node_id),
         )
         for factory, policy in self._contract_factories:
             contract = factory()

@@ -29,6 +29,7 @@ from repro.chain.block import Block
 from repro.chain.ledger import Ledger
 from repro.chain.mempool import Mempool
 from repro.chain.state import WorldState
+from repro.chain.store import BlockStore, MemoryStore
 from repro.chain.sync import SyncManager
 from repro.chain.transaction import (
     Endorsement,
@@ -140,11 +141,16 @@ class Peer(NetworkNode):
         byzantine: bool = False,
         obs: MetricsRegistry | None = None,
         tracer: Tracer | None = None,
+        store: BlockStore | None = None,
     ):
         super().__init__(node_id)
         self.keypair = keypair
         self.registry = registry
         self.engine = engine
+        #: Storage backend; :class:`~repro.chain.store.MemoryStore` keeps
+        #: the seed behaviour, :class:`~repro.chain.store.DurableStore`
+        #: write-ahead logs every commit and makes restart a *recovery*.
+        self.store: BlockStore = store if store is not None else MemoryStore()
         self.ledger = Ledger()
         self.state = WorldState()
         self.mempool = Mempool()
@@ -164,6 +170,7 @@ class Peer(NetworkNode):
             registry=self.obs,
         )
         self.metrics = PeerMetrics(registry=self.obs, peer=node_id)
+        self.store.attach(self.obs, node_id)
         self.sync = SyncManager(self)
         #: Called as ``listener(peer, block)`` after every committed
         #: block — the invariant auditor's hook point.
@@ -172,6 +179,13 @@ class Peer(NetworkNode):
         #: wipes volatile state, so auditors can excuse the injected loss.
         self.restart_listeners: list[Callable[["Peer", set[str]], None]] = []
         engine.attach(self)
+
+    @property
+    def disk(self):
+        """The store's simulated disk, if the backend has one — the hook
+        :class:`~repro.simnet.failure.FailureSchedule` disk faults target
+        (duck-typed: the simnet layer never imports chain classes)."""
+        return getattr(self.store, "disk", None)
 
     # -- configuration --------------------------------------------------------
 
@@ -272,10 +286,12 @@ class Peer(NetworkNode):
                 peer=self.node_id,
             )
         validity: list[bool] = []
+        errors: list[str | None] = []
         valid_txs: list[Transaction] = []
         for tx in block.transactions:
             verdict, error = self._validate_transaction(tx)
             validity.append(verdict)
+            errors.append(error)
             receipt = TxReceipt(
                 tx_id=tx.tx_id,
                 block_height=block.height,
@@ -298,8 +314,17 @@ class Peer(NetworkNode):
             else:
                 self.metrics.txs_committed_invalid += 1
         self.ledger.append(block, validity)
+        # Write-ahead durability: the record (block + verdicts + error
+        # strings + consensus proof) is logged and fsync'd-in-model before
+        # this commit is acknowledged durable; recovery re-verifies the
+        # proof before trusting the record.  PBFT records its certificate
+        # before calling commit_block, so sync_proof is available here.
+        self.store.on_commit(
+            block, validity, proof=self.engine.sync_proof(block.height), errors=errors
+        )
         self.mempool.remove([tx.tx_id for tx in block.transactions])
         self.metrics.record_block_commit(self.sim.now)
+        self.store.maybe_snapshot(self.ledger, self.state, self.receipts)
         if self.sharded_executor is not None and valid_txs:
             self.sharded_executor.plan_block(valid_txs)
         for listener in self.commit_listeners:
@@ -331,13 +356,19 @@ class Peer(NetworkNode):
     def restart(self) -> set[str]:
         """Simulate a process restart: durable state survives, the rest dies.
 
-        The ledger (disk) is kept; the world state is rebuilt from it via
-        :meth:`~repro.chain.ledger.Ledger.replay_state` and receipts are
-        re-derived from committed blocks.  The mempool, the engine's open
-        rounds and timers, and the sync manager's in-flight fetches are
-        wiped — exactly what a real crash loses.  Returns the wiped
-        pending tx ids so fault injectors can report (and auditors can
-        excuse) the loss.
+        What "durable" means depends on the storage backend.  With the
+        in-memory store (seed behaviour) the ledger object is axiomatically
+        kept and the world state is rebuilt by full
+        :meth:`~repro.chain.ledger.Ledger.replay_state` from genesis.
+        With a :class:`~repro.chain.store.DurableStore`, restart is
+        *recovery*: the backend rebuilds ledger, state, and receipts from
+        its verified snapshot + log tail — and anything it had to give up
+        (torn tail, corrupt snapshot) is reported, counted, and later
+        re-fetched from the network by the sync manager.  The mempool,
+        the engine's open rounds and timers, and in-flight fetches are
+        wiped either way — exactly what a real crash loses.  Returns the
+        wiped pending tx ids so fault injectors can report (and auditors
+        can excuse) the loss.
         """
         wiped: set[str] = {tx.tx_id for tx in self.mempool.snapshot()}
         pending = getattr(self.engine, "pending_txs", None)
@@ -346,14 +377,42 @@ class Peer(NetworkNode):
         wiped = {tx_id for tx_id in wiped if tx_id not in self.ledger}
         self.crashed = False
         self.mempool = Mempool()
-        self.state = self.ledger.replay_state()
-        self.receipts = self._rebuild_receipts()
+        recovered = self.store.recover(engine=self.engine)
+        report = None
+        if recovered is None:
+            self.state = self.ledger.replay_state()
+            self.receipts = self._rebuild_receipts()
+        else:
+            report = recovered.report
+            self.ledger = recovered.ledger
+            self.state = recovered.state
+            self.receipts = recovered.receipts
         self.engine.on_restart()
-        self.sync.on_restart()
+        if recovered is not None:
+            self._reseed_engine_proofs(recovered.proofs)
+        self.sync.on_restart(report=report)
         self.metrics.restarts += 1
         for listener in self.restart_listeners:
             listener(self, wiped)
         return wiped
+
+    def _reseed_engine_proofs(self, proofs: dict[int, "object"]) -> None:
+        """Re-seed the engine's certificate map from recovered proofs and
+        drop certificates above the recovered head (their blocks did not
+        survive the disk; keeping them would let sync serve proofs for
+        blocks this peer no longer holds)."""
+        head = self.ledger.height
+        for height in sorted(proofs):
+            proof = proofs[height]
+            if proof is not None and height <= head:
+                self.engine.on_synced_block(self.ledger.block(height), proof)
+        certificates = getattr(self.engine, "commit_certificates", None)
+        if certificates is not None:
+            for height in [h for h in certificates if h > head]:
+                del certificates[height]
+                signatures = getattr(self.engine, "commit_signatures", None)
+                if signatures is not None:
+                    signatures.pop(height, None)
 
     def _rebuild_receipts(self) -> dict[str, TxReceipt]:
         """Receipts are derivable from the chain: validity verdicts and

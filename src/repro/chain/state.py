@@ -109,6 +109,35 @@ class WorldState:
         """Open a read-your-writes view for simulated execution."""
         return StateSnapshot(self)
 
+    # -- persistence -------------------------------------------------------
+
+    def dump(self) -> dict[str, Any]:
+        """JSON-ready full dump: commit sequence + sorted (key, value,
+        version) entries.  The inverse of :meth:`from_dump`; values are
+        isolated on the way back in, so a dump is safe to serialize,
+        stash, and restore without aliasing committed state."""
+        return {
+            "commit_seq": self._commit_seq,
+            "entries": [
+                [key, entry.value, entry.version]
+                for key, entry in sorted(self._store.items())
+            ],
+        }
+
+    @classmethod
+    def from_dump(cls, dumped: dict[str, Any]) -> "WorldState":
+        """Rebuild a world state from :meth:`dump` output (snapshot
+        recovery).  Restores values, MVCC versions, *and* the commit
+        sequence, so post-recovery commits continue the same version
+        numbering an uninterrupted run would have used — required for
+        ``state_digest()`` convergence with peers that never crashed."""
+        state = cls()
+        state._commit_seq = int(dumped["commit_seq"])
+        for key, value, version in dumped["entries"]:
+            state._store[key] = VersionedValue(value=_isolate(value), version=int(version))
+        state._sorted_keys = sorted(state._store)
+        return state
+
     def state_digest(self) -> str:
         """Deterministic digest of the full committed state.
 

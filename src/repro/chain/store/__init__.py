@@ -1,0 +1,36 @@
+"""Pluggable block storage: in-memory (seed behaviour) or durable.
+
+See :mod:`repro.chain.store.base` for the interface,
+:mod:`repro.chain.store.durable` for the write-ahead-log + snapshot
+backend, and ``docs/API.md`` for the record format and the recovery
+degradation ladder.
+"""
+
+from repro.chain.store.base import BlockStore, Degradation, RecoveredChain, RecoveryReport
+from repro.chain.store.codec import decode_record, encode_record
+from repro.chain.store.durable import DurableStore
+from repro.chain.store.inspect import inspect_disk, inspect_files, render_inspection
+from repro.chain.store.log import BlockLog, LogRecord, LogScan, scan_log_bytes
+from repro.chain.store.memory import MemoryStore
+from repro.chain.store.snapshots import list_snapshots, load_snapshot, write_snapshot
+
+__all__ = [
+    "BlockStore",
+    "Degradation",
+    "RecoveredChain",
+    "RecoveryReport",
+    "MemoryStore",
+    "DurableStore",
+    "BlockLog",
+    "LogRecord",
+    "LogScan",
+    "scan_log_bytes",
+    "encode_record",
+    "decode_record",
+    "write_snapshot",
+    "load_snapshot",
+    "list_snapshots",
+    "inspect_files",
+    "inspect_disk",
+    "render_inspection",
+]

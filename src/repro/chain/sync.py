@@ -98,6 +98,9 @@ class SyncMetrics(ObsView):
     syncs_completed = metric_attr("sync.syncs_completed")
     lag_time_total = metric_attr("sync.lag_time_total")
     max_lag_blocks = metric_attr("sync.max_lag_blocks")
+    #: Blocks the durable store acknowledged but could not recover after
+    #: a crash (torn/corrupt records) — re-fetched through this manager.
+    store_truncated_blocks = metric_attr("sync.store_truncated_blocks")
 
     def __init__(self, registry: MetricsRegistry | None = None, peer: str = ""):
         super().__init__(registry, peer=peer)
@@ -188,8 +191,17 @@ class SyncManager:
             self._announce_event = None
         self._cancel_inflight()
 
-    def on_restart(self) -> None:
-        """Drop volatile sync state after a simulated process restart."""
+    def on_restart(self, report: Any = None) -> None:
+        """Drop volatile sync state after a simulated process restart.
+
+        *report* is the storage backend's
+        :class:`~repro.chain.store.RecoveryReport` when the peer
+        recovered through a durable store (``None`` for the in-memory
+        backend).  A recovery that had to truncate damaged log records is
+        recorded here: those blocks are gone locally and it is this
+        manager's job to re-fetch them, so the loss is surfaced as sync
+        lag metrics rather than silently absorbed.
+        """
         self._cancel_inflight()
         self._future.clear()
         self.known_heights.clear()
@@ -197,6 +209,15 @@ class SyncManager:
         self._round_failures = 0
         self._lag_since = None
         self._lag_from_height = None
+        if report is not None:
+            lost = len(getattr(report, "missing_acked", {}) or {})
+            if lost:
+                self.metrics.store_truncated_blocks += lost
+                # Treat the truncation like detected lag from the moment
+                # of restart: the catch-up duration metrics then cover
+                # re-fetching what the disk lost.
+                self._lag_since = self.peer.sim.now
+                self._lag_from_height = self.peer.ledger.height
         # The announce loop keeps its schedule: a restarted process would
         # re-arm the same timer on boot.
         self.start()

@@ -6,6 +6,7 @@ provides latency, partitions, drops, and crash faults.
 """
 
 from repro.simnet.chaos import ChaosSchedule, VoteFlooder
+from repro.simnet.disk import DiskFault, SimDisk
 from repro.simnet.events import Event, Simulator
 from repro.simnet.failure import FailureEvent, FailureSchedule
 from repro.simnet.latency import (
@@ -21,6 +22,8 @@ from repro.simnet.network import Message, Network, NetworkNode, estimate_payload
 __all__ = [
     "ChaosSchedule",
     "VoteFlooder",
+    "DiskFault",
+    "SimDisk",
     "Event",
     "Simulator",
     "FailureEvent",

@@ -222,9 +222,19 @@ class ChaosSchedule(FailureSchedule):
         a crash-*pause* (``recover_at`` — in-memory state intact) or a
         crash-*restart* (``restart_at`` — volatile state wiped, world
         state replayed from the durable ledger).
+
+        The ``"disk"`` scenario (off by default — it only bites when
+        peers run a durable store) pairs each crash window with a drawn
+        crash-consistency fault: a torn write or lying-drive partial
+        flush armed just before the crash, or a bit flip landing in the
+        log/snapshot while the node is down.  Its rng draws happen only
+        when the scenario is enabled and strictly *after* the draws the
+        default scenarios make, so enabling ``"disk"`` never perturbs an
+        existing seed's crash/partition/latency/rogue plan.
         """
         validators = list(validators)
         scenarios = set(scenarios)
+        crash_windows: list[tuple[float, float, str]] = []
         if "crash" in scenarios:
             cursor = self.rng.uniform(0.05, 0.2) * duration
             while cursor < 0.7 * duration:
@@ -236,6 +246,7 @@ class ChaosSchedule(FailureSchedule):
                     self.restart_at(cursor + down, victim)
                 else:
                     self.recover_at(cursor + down, victim)
+                crash_windows.append((cursor, cursor + down, victim))
                 cursor += down + self.rng.uniform(0.05, 0.25) * duration
         if "partition" in scenarios:
             start = self.rng.uniform(0.2, 0.5) * duration
@@ -255,3 +266,21 @@ class ChaosSchedule(FailureSchedule):
                     duration=self.rng.uniform(0.3, 0.6) * duration,
                     period=self.rng.uniform(0.3, 1.0),
                 )
+        if "disk" in scenarios:
+            # Drawn last so the plan for the default scenarios is
+            # byte-identical with and without disk faults enabled.
+            for start, end, victim in crash_windows:
+                fault = self.rng.choice(("torn-write", "partial-flush", "bit-flip", "none"))
+                # Arm slightly before the crash event: same-time events
+                # fire in schedule order and the crash was scheduled first.
+                arm_at = max(0.0, start - 1e-3)
+                if fault == "torn-write":
+                    self.torn_write_at(arm_at, victim)
+                elif fault == "partial-flush":
+                    self.partial_flush_at(arm_at, victim, k=self.rng.randint(1, 3))
+                elif fault == "bit-flip":
+                    self.bitflip_at(
+                        self.rng.uniform(start, end),
+                        victim,
+                        artifact=self.rng.choice(("log", "snapshot")),
+                    )

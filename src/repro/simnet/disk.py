@@ -1,0 +1,207 @@
+"""A fault-injectable simulated disk, one per node.
+
+The durable store (:mod:`repro.chain.store`) writes its block log and
+snapshots through a :class:`SimDisk` instead of the real filesystem, so
+crash-consistency faults become schedulable events just like crashes and
+partitions.  The model mirrors what a real kernel gives you:
+
+- ``append``/``write`` land in a **pending** buffer — bytes the OS has
+  but has not promised to keep;
+- ``fsync`` moves pending bytes into the **durable** image and records a
+  *fsync generation mark* (the durable length at that point).  Only
+  durable bytes survive :meth:`on_crash`;
+- a **torn write** (armed via :meth:`arm_torn_write`) means the crash
+  interrupts the last fsync'd write mid-flight: on crash the final
+  fsync generation is rolled back and a random *prefix* of its bytes is
+  kept — exactly the partial sector pattern recovery code must detect;
+- a **partial flush** (:meth:`arm_partial_flush`) models a drive that
+  acknowledged ``fsync`` but lied: the last *k* fsync generations of the
+  log vanish wholesale at crash time;
+- a **bit flip** (:meth:`corrupt`) flips one bit of the durable image in
+  place — latent media corruption that only surfaces on the next read.
+
+Files carry a *role* tag (``"log"`` / ``"snapshot"``) so fault
+injectors can aim at an artifact class without knowing file names.
+All randomness comes from a seeded ``random.Random``, so every fault
+plan is replayable from its seed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+__all__ = ["DiskFault", "SimDisk"]
+
+
+@dataclass(frozen=True)
+class DiskFault:
+    """One injected disk fault that actually took effect."""
+
+    kind: str  # "torn-write" | "partial-flush" | "bit-flip"
+    file: str
+    detail: str
+
+
+class SimDisk:
+    """In-model block device: durable bytes vs. pending (unsynced) bytes."""
+
+    def __init__(self, node_id: str = "", rng: random.Random | None = None):
+        self.node_id = node_id
+        self.rng = rng if rng is not None else random.Random(f"disk:{node_id}")
+        self._durable: dict[str, bytearray] = {}
+        self._pending: dict[str, bytearray] = {}
+        #: file -> durable length after each acknowledged fsync, oldest
+        #: first.  This is the granularity partial-flush rollback works at.
+        self._marks: dict[str, list[int]] = {}
+        self._roles: dict[str, str] = {}
+        self._armed_torn: str | None = None  # role the tear aims at
+        self._armed_partial: tuple[str, int] | None = None  # (role, k)
+        self.faults: list[DiskFault] = []
+        self.crashes = 0
+        self.fsyncs = 0
+        self.bytes_synced = 0
+
+    # -- plain I/O ---------------------------------------------------------
+
+    def append(self, name: str, data: bytes) -> None:
+        """Buffer *data* at the end of *name* (not durable until fsync)."""
+        self._pending.setdefault(name, bytearray()).extend(data)
+
+    def fsync(self, name: str) -> None:
+        """Flush pending bytes of *name* into the durable image."""
+        self.fsyncs += 1
+        pending = self._pending.pop(name, None)
+        durable = self._durable.setdefault(name, bytearray())
+        if pending:
+            durable.extend(pending)
+            self.bytes_synced += len(pending)
+        self._marks.setdefault(name, []).append(len(durable))
+
+    def read(self, name: str) -> bytes:
+        """The durable image of *name* (what survives a crash)."""
+        return bytes(self._durable.get(name, b""))
+
+    def size(self, name: str) -> int:
+        return len(self._durable.get(name, b""))
+
+    def exists(self, name: str) -> bool:
+        return name in self._durable
+
+    def names(self) -> list[str]:
+        return sorted(self._durable)
+
+    def truncate(self, name: str, length: int) -> None:
+        """Repair primitive: cut the durable image (and stale marks)."""
+        durable = self._durable.setdefault(name, bytearray())
+        del durable[length:]
+        self._pending.pop(name, None)
+        self._marks[name] = [m for m in self._marks.get(name, []) if m <= length]
+
+    def delete(self, name: str) -> None:
+        self._durable.pop(name, None)
+        self._pending.pop(name, None)
+        self._marks.pop(name, None)
+        self._roles.pop(name, None)
+
+    # -- roles -------------------------------------------------------------
+
+    def set_role(self, name: str, role: str) -> None:
+        """Tag *name* as ``"log"`` / ``"snapshot"`` for fault targeting."""
+        self._roles[name] = role
+
+    def names_with_role(self, role: str) -> list[str]:
+        return sorted(n for n, r in self._roles.items() if r == role and n in self._durable)
+
+    # -- fault injection ---------------------------------------------------
+
+    def arm_torn_write(self, role: str = "log") -> None:
+        """At the next crash, the newest fsync of a *role* file is torn:
+        its generation is rolled back but a random prefix of its bytes
+        survives (the write was interrupted mid-flight)."""
+        self._armed_torn = role
+
+    def arm_partial_flush(self, k: int = 1, role: str = "log") -> None:
+        """At the next crash, the last *k* acknowledged fsync generations
+        of each *role* file are silently lost (the drive lied)."""
+        self._armed_partial = (role, max(1, k))
+
+    def corrupt(
+        self, role: str = "log", offset: int | None = None, name: str | None = None
+    ) -> str | None:
+        """Flip one bit of the durable image of the newest *role* file
+        (or of *name*, when given explicitly).
+
+        Returns the corrupted file name, or ``None`` when no durable file
+        of that role exists yet (nothing to corrupt).
+        """
+        if name is None:
+            candidates = self.names_with_role(role)
+            candidates = [n for n in candidates if self._durable.get(n)]
+            if not candidates:
+                return None
+            name = candidates[-1]
+        elif not self._durable.get(name):
+            return None
+        durable = self._durable[name]
+        if offset is None:
+            offset = self.rng.randrange(len(durable))
+        offset = min(offset, len(durable) - 1)
+        durable[offset] ^= 1 << self.rng.randrange(8)
+        self.faults.append(DiskFault("bit-flip", name, f"offset={offset}"))
+        return name
+
+    def on_crash(self) -> list[DiskFault]:
+        """Apply crash semantics: pending bytes die, armed faults fire.
+
+        Returns the faults that actually took effect at this crash (an
+        armed fault against a file with no fsync history is a no-op).
+        """
+        self.crashes += 1
+        fired: list[DiskFault] = []
+        self._pending.clear()
+        if self._armed_partial is not None:
+            role, k = self._armed_partial
+            self._armed_partial = None
+            for name in self.names_with_role(role):
+                marks = self._marks.get(name, [])
+                if not marks:
+                    continue
+                keep = marks[-1 - k] if len(marks) > k else 0
+                lost = len(self._durable[name]) - keep
+                if lost <= 0:
+                    continue
+                self.truncate(name, keep)
+                fault = DiskFault("partial-flush", name, f"lost={lost}B k={k}")
+                self.faults.append(fault)
+                fired.append(fault)
+        if self._armed_torn is not None:
+            role = self._armed_torn
+            self._armed_torn = None
+            for name in self.names_with_role(role):
+                marks = self._marks.get(name, [])
+                if not marks:
+                    continue
+                start = marks[-2] if len(marks) >= 2 else 0
+                segment = len(self._durable[name]) - start
+                if segment <= 0:
+                    continue
+                keep = self.rng.randrange(segment)  # 0..segment-1: always torn
+                self.truncate(name, start + keep)
+                fault = DiskFault("torn-write", name, f"kept={keep}B of {segment}B")
+                self.faults.append(fault)
+                fired.append(fault)
+        return fired
+
+    # -- reporting ---------------------------------------------------------
+
+    def stats(self) -> dict[str, object]:
+        return {
+            "files": {n: len(b) for n, b in sorted(self._durable.items())},
+            "fsyncs": self.fsyncs,
+            "bytes_synced": self.bytes_synced,
+            "crashes": self.crashes,
+            "faults": [
+                {"kind": f.kind, "file": f.file, "detail": f.detail} for f in self.faults
+            ],
+        }

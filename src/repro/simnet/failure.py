@@ -51,6 +51,29 @@ class FailureSchedule:
         recover."""
         self.sim.schedule_at(time, lambda: self._restart(node_id, time))
 
+    def torn_write_at(self, time: float, node_id: str) -> None:
+        """Arm a torn write on *node_id*'s disk: at its next crash, the
+        last fsync'd write to its block log survives only as a random
+        prefix (the write was interrupted mid-flight).  A node without a
+        disk (no durable store) ignores the fault."""
+        self.sim.schedule_at(time, lambda: self._disk_fault(node_id, time, "torn-write"))
+
+    def partial_flush_at(self, time: float, node_id: str, k: int = 1) -> None:
+        """Arm a lying-drive fault on *node_id*'s disk: at its next crash
+        the last *k* acknowledged fsync generations of its block log are
+        silently lost."""
+        self.sim.schedule_at(
+            time, lambda: self._disk_fault(node_id, time, "partial-flush", k=k)
+        )
+
+    def bitflip_at(self, time: float, node_id: str, artifact: str = "log") -> None:
+        """Flip one bit of *node_id*'s durable *artifact* (``"log"`` or
+        ``"snapshot"``) at *time* — latent media corruption, surfaced only
+        when recovery next reads the bytes."""
+        self.sim.schedule_at(
+            time, lambda: self._disk_fault(node_id, time, "bit-flip", artifact=artifact)
+        )
+
     def partition_at(self, time: float, *groups: set[str]) -> None:
         """Install a partition at *time*."""
         frozen = [set(g) for g in groups]
@@ -63,8 +86,34 @@ class FailureSchedule:
     # -- implementations -------------------------------------------------
 
     def _crash(self, node_id: str, time: float) -> None:
-        self.network.node(node_id).crashed = True
+        node = self.network.node(node_id)
+        node.crashed = True
+        # A crash takes the node's disk (if any) down with it: unsynced
+        # bytes die and any armed torn-write / partial-flush fault fires.
+        disk = getattr(node, "disk", None)
+        if disk is not None:
+            for fault in disk.on_crash():
+                self.log.append(
+                    FailureEvent(time=time, action=f"disk-{fault.kind}", target=node_id)
+                )
         self.log.append(FailureEvent(time=time, action="crash", target=node_id))
+
+    def _disk_fault(self, node_id: str, time: float, kind: str, k: int = 1, artifact: str = "log") -> None:
+        disk = getattr(self.network.node(node_id), "disk", None)
+        if disk is None:
+            return  # in-memory backend: nothing to corrupt
+        if kind == "torn-write":
+            disk.arm_torn_write()
+            self.log.append(FailureEvent(time=time, action="disk-arm-torn-write", target=node_id))
+        elif kind == "partial-flush":
+            disk.arm_partial_flush(k)
+            self.log.append(FailureEvent(time=time, action="disk-arm-partial-flush", target=node_id))
+        elif kind == "bit-flip":
+            corrupted = disk.corrupt(role=artifact)
+            if corrupted is not None:
+                self.log.append(
+                    FailureEvent(time=time, action=f"disk-bit-flip:{artifact}", target=node_id)
+                )
 
     def _recover(self, node_id: str, time: float) -> None:
         self.network.node(node_id).crashed = False

@@ -114,3 +114,39 @@ def test_verify_chain_passes(chain):
 def test_total_transactions(chain):
     ledger, _ = chain
     assert ledger.total_transactions() == 3
+
+
+def test_append_is_atomic_under_hostile_transaction(chain, keypair):
+    """An exception raised while indexing must leave the ledger untouched.
+
+    The seed appended the block *before* building the indexes, so a
+    transaction object whose attributes raise mid-indexing left the
+    block committed but (partly) invisible to tx_locator/by_sender — a
+    torn index.  Merkle verification only reads ``tx_id``, so a hostile
+    object can legitimately get that far.
+    """
+
+    class _HostileTx:
+        def __init__(self, tx):
+            self._tx = tx
+
+        def __getattr__(self, item):
+            if item == "contract":
+                raise RuntimeError("hostile attribute access")
+            return getattr(self._tx, item)
+
+    ledger, _ = chain
+    good, bad = _tx(keypair, 20), _tx(keypair, 21)
+    block = Block.build(2, ledger.head.block_hash, 2.0, "p", [good, _HostileTx(bad)])
+    before_height = ledger.height
+    before_locators = dict(ledger._tx_locator)
+    with pytest.raises(RuntimeError, match="hostile"):
+        ledger.append(block, [True, True])
+    assert ledger.height == before_height
+    assert ledger._tx_locator == before_locators
+    assert ledger.get_transaction(good.tx_id) is None
+    assert len(ledger.transactions_by_sender(keypair.address)) == 3  # fixture only
+    # The ledger still accepts the block once the transactions behave.
+    clean = Block.build(2, ledger.head.block_hash, 2.0, "p", [good, bad])
+    ledger.append(clean, [True, True])
+    assert ledger.get_transaction(good.tx_id).valid
