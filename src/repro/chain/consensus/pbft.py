@@ -586,6 +586,16 @@ class PBFTEngine(ConsensusEngine):
         )
         self._rounds.pop((view, height), None)
         if height == peer.ledger.height + 1:
+            if decided.block.prev_hash != peer.ledger.head.block_hash:
+                # Same rule as _drain_commit_buffer: sync may have filled
+                # this height's parent with a different block (the view
+                # changed elsewhere), so a late commit quorum here is for
+                # a block that can never extend this chain.  Applying it
+                # would mutate world state before Ledger.append rejects
+                # the linkage — discard instead, never apply unverified.
+                self._discard_decided(decided)
+                self._arm_view_timer()
+                return
             self._apply_decided(height, decided)
             self._arm_view_timer()
             return
@@ -780,7 +790,38 @@ class PBFTEngine(ConsensusEngine):
             # round at every in-flight height returns its transactions.
             for key in [k for k in self._rounds if k[0] < new_view]:
                 self._requeue_stale_round(self._rounds.pop(key))
+            self._prune_commit_buffer()
             self._view_votes = {v: s for v, s in self._view_votes.items() if v > new_view}
+
+    def _prune_commit_buffer(self) -> None:
+        """Drop decided-but-unapplied blocks orphaned by a view change.
+
+        A buffered block at height ``h`` links (by ``prev_hash``) to an
+        uncommitted block at ``h - 1``.  Once deposed rounds have been
+        requeued, that parent can only still materialise from the
+        applied head, a surviving round, or another buffered entry; any
+        other linkage means the gap below can never close from here —
+        yet the entry would keep refusing pre-prepares at its height and
+        holding its transactions out of the mempool, stalling the chain
+        through repeated view changes.  Discard such entries so their
+        transactions requeue for the new primary.  (If the parent did
+        commit elsewhere it re-arrives via sync, and ``commit_block``'s
+        ``mempool.remove`` dedupes the requeued copies.)
+        """
+        peer = self.peer
+        if peer is None or not self._commit_buffer:
+            return
+        producible = {peer.ledger.head.block_hash}
+        producible.update(
+            state.digest for state in self._rounds.values() if state.digest is not None
+        )
+        for height in sorted(self._commit_buffer):
+            decided = self._commit_buffer[height]
+            if decided.block.prev_hash in producible:
+                producible.add(decided.digest)
+                continue
+            self._discard_decided(self._commit_buffer.pop(height))
+        self._observe_commit_buffer()
 
     def pending_txs(self) -> set[str]:
         """Tx ids held in open (uncommitted) rounds and in the decided

@@ -210,7 +210,7 @@ class ChaosSchedule(FailureSchedule):
         validators: Sequence[str],
         scenarios: Iterable[str] = ("crash", "partition", "latency", "rogue"),
         max_crashed: int = 1,
-    ) -> None:
+    ) -> int:
         """Generate a randomized fault plan over ``[0, duration]``.
 
         Crash windows are sequential (never more than *max_crashed*
@@ -227,13 +227,26 @@ class ChaosSchedule(FailureSchedule):
         peers run a durable store) pairs each crash window with a drawn
         crash-consistency fault: a torn write or lying-drive partial
         flush armed just before the crash, or a bit flip landing in the
-        log/snapshot while the node is down.  Its rng draws happen only
-        when the scenario is enabled and strictly *after* the draws the
-        default scenarios make, so enabling ``"disk"`` never perturbs an
-        existing seed's crash/partition/latency/rogue plan.
+        log/snapshot while the node is down.  Because disk faults attach
+        to crash windows, ``"disk"`` requires ``"crash"`` — enabling it
+        alone would silently schedule nothing and masquerade as a
+        passing crash-consistency run, so it raises instead.  Its rng
+        draws happen only when the scenario is enabled and strictly
+        *after* the draws the default scenarios make, so enabling
+        ``"disk"`` never perturbs an existing seed's
+        crash/partition/latency/rogue plan.
+
+        Returns the number of disk faults armed (0 when ``"disk"`` is
+        not enabled, or when every window drew ``"none"``).
         """
         validators = list(validators)
         scenarios = set(scenarios)
+        if "disk" in scenarios and "crash" not in scenarios:
+            raise ValueError(
+                'the "disk" chaos scenario attaches faults to crash windows; '
+                'enable "crash" alongside it (scenarios without "crash" would '
+                "inject zero disk faults)"
+            )
         crash_windows: list[tuple[float, float, str]] = []
         if "crash" in scenarios:
             cursor = self.rng.uniform(0.05, 0.2) * duration
@@ -266,6 +279,7 @@ class ChaosSchedule(FailureSchedule):
                     duration=self.rng.uniform(0.3, 0.6) * duration,
                     period=self.rng.uniform(0.3, 1.0),
                 )
+        disk_faults = 0
         if "disk" in scenarios:
             # Drawn last so the plan for the default scenarios is
             # byte-identical with and without disk faults enabled.
@@ -284,3 +298,6 @@ class ChaosSchedule(FailureSchedule):
                         victim,
                         artifact=self.rng.choice(("log", "snapshot")),
                     )
+                if fault != "none":
+                    disk_faults += 1
+        return disk_faults

@@ -198,6 +198,78 @@ def test_out_of_order_quorum_buffers_until_gap_closes():
     network.stop()
 
 
+def test_late_quorum_on_orphaned_height_is_discarded_not_applied():
+    """Commit quorum for h+2 that lands *after* sync filled the gap with
+    a different h+1 block: the immediate-apply branch of ``_decide``
+    must run the same parent-linkage check as the drain path and
+    discard.  Pre-fix it applied blindly — ``commit_block`` mutated
+    receipts and world state before ``Ledger.append`` rejected the
+    linkage, so the ``InvalidBlockError`` escaped with state already
+    diverged from the chain."""
+    network = _network()
+    replica = network.peers[1]
+    engine = replica.engine
+    engine.validator_keys.clear()
+    head = replica.ledger.head
+    b1 = Block.build(1, head.block_hash, 0.0, "peer-0", [])
+    b2 = Block.build(2, b1.block_hash, 0.0, "peer-0", [])
+    engine._accept_pre_prepare(0, 1, b1, "peer-0")
+    engine._accept_pre_prepare(0, 2, b2, "peer-0")
+    # The view changed elsewhere: sync applies a *different* height-1
+    # block, orphaning the b1 -> b2 chain this replica voted on.
+    b1_alt = Block.build(1, head.block_hash, 0.1, "peer-2", [])
+    replica.commit_block(b1_alt)
+    assert replica.ledger.height == 1
+    # Now the quorum-completing commit votes for (0, 2) arrive: height
+    # 2 == ledger head + 1, but b2 is parented on the losing b1.
+    for voter in ("peer-2", "peer-3"):
+        engine._on_prepare(0, 2, b2.block_hash, voter)
+    for voter in ("peer-2", "peer-3"):
+        engine._on_commit(0, 2, b2.block_hash, voter)
+    assert replica.ledger.height == 1
+    assert replica.ledger.head.block_hash == b1_alt.block_hash
+    assert engine.decided_heights() == []
+    network.stop()
+
+
+def test_view_change_discards_orphaned_buffered_decisions():
+    """A decided-but-unapplied block whose parent round is deposed by a
+    view change can never apply — pre-fix it sat in the buffer forever,
+    refusing every pre-prepare at its height and holding its txs out of
+    the mempool.  The view change must discard it, while entries still
+    chained to the applied head survive the prune."""
+    network = _network()
+    replica = network.peers[1]
+    engine = replica.engine
+    engine.validator_keys.clear()
+    head = replica.ledger.head
+    b1 = Block.build(1, head.block_hash, 0.0, "peer-0", [])
+    b2 = Block.build(2, b1.block_hash, 0.0, "peer-0", [])
+    engine._accept_pre_prepare(0, 1, b1, "peer-0")
+    engine._accept_pre_prepare(0, 2, b2, "peer-0")
+    # Height 2 decides out of order and parks on the gap at height 1.
+    for voter in ("peer-2", "peer-3"):
+        engine._on_prepare(0, 2, b2.block_hash, voter)
+    for voter in ("peer-2", "peer-3"):
+        engine._on_commit(0, 2, b2.block_hash, voter)
+    assert engine.decided_heights() == [2]
+    # Control entry: parented directly on the applied head, so it stays
+    # producible across the view change and must not be swept.
+    keeper = Block.build(1, head.block_hash, 0.2, "peer-0", [])
+    engine._commit_buffer[1] = _Decided(
+        block=keeper, digest=keeper.block_hash, certificate=[], signatures={}
+    )
+    # The view change deposes b1's round: nothing left can fill b2's gap.
+    for voter in ("peer-1", "peer-2", "peer-3"):
+        engine._vote_view_change(1, voter)
+    assert engine.view == 1
+    assert engine.decided_heights() == [1], (
+        "expected the orphaned height-2 decision discarded and the "
+        "head-chained height-1 entry kept"
+    )
+    network.stop()
+
+
 def test_primary_pipelines_up_to_depth_heights():
     """With a full mempool and no quorum possible (partition), the
     primary must open ``pipeline_depth`` heights, each chained onto the

@@ -195,6 +195,24 @@ def test_disk_scenario_does_not_perturb_existing_plans():
     assert non_disk == base
 
 
+def test_disk_scenario_requires_crash_windows():
+    """Disk faults attach to crash windows, so ``scenarios={"disk"}``
+    without ``"crash"`` would silently schedule nothing — and read as a
+    passing crash-consistency run that injected zero faults.  ``plan``
+    refuses the combination and, when valid, reports how many disk
+    faults it armed so callers can assert the run actually bit."""
+    network, _, _ = _build(seed=3)
+    chaos = ChaosSchedule(network.sim, network.net, seed=3)
+    validators = [p.node_id for p in network.peers]
+    with pytest.raises(ValueError, match="disk"):
+        chaos.plan(20.0, validators=validators, scenarios=("disk",))
+    armed = chaos.plan(20.0, validators=validators,
+                       scenarios=("crash", "disk"))
+    network.sim.run(until=30.0)
+    fired = [e for e in chaos.log if e.action.startswith("disk-")]
+    assert len(fired) == armed
+
+
 @pytest.mark.chaos
 @pytest.mark.parametrize("seed", EXTENDED_DISK_SEEDS)
 def test_disk_chaos_audited_extended(seed):
