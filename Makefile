@@ -29,23 +29,27 @@ bench:
 	$(PYTHON) -m pytest benchmarks -q
 
 # CI-sized pass over the substrate micro-benchmarks, the pipelined PBFT
-# sweep, and the cold-start recovery comparison: REPRO_BENCH_SMOKE=1
-# shrinks the crypto benches, the pipeline workload, and the synthetic
-# chains so the hot paths (depth > 1 consensus, snapshot+tail recovery)
-# are exercised on every push without the statistical assertions (which
-# need quiet hardware).
+# sweep, the cold-start recovery comparison, and the explorer index-vs-
+# scan equivalence: REPRO_BENCH_SMOKE=1 shrinks the crypto benches, the
+# pipeline workload, and the synthetic chains so the hot paths (depth > 1
+# consensus, snapshot+tail recovery, index-path queries) are exercised on
+# every push without the statistical assertions (which need quiet
+# hardware) or the 10x explorer p95 gate (which needs the 100k chain).
 bench-smoke:
 	REPRO_BENCH_SMOKE=1 $(PYTHON) -m pytest benchmarks/bench_micro_substrate.py \
 		benchmarks/bench_pipeline.py \
 		benchmarks/bench_recovery.py::test_cold_start_recovery \
+		benchmarks/bench_explorer.py \
 		-q --benchmark-disable
 
 # Crash-recovery: deep catch-up tests, the storage-engine suites
-# (including the seeded disk-fault chaos sweep), and the recovery
-# benchmarks (write benchmarks/latest_recovery.json).
+# (parametrized over the durable and sqlite backends, including the
+# seeded disk-fault chaos sweep over both), and the recovery benchmarks
+# (write benchmarks/latest_recovery.json).
 recovery:
 	$(PYTHON) -m pytest tests/chain/test_sync_recovery.py tests/chain/test_store.py \
-		tests/chain/test_store_recovery.py benchmarks/bench_recovery.py -q
+		tests/chain/test_sqlite_store.py tests/chain/test_store_recovery.py \
+		benchmarks/bench_recovery.py -q
 	$(PYTHON) -m pytest tests/chain/test_store_recovery.py -q -m chaos
 
 # Traced end-to-end demo: runs a small PBFT workload with a crash/restart,

@@ -59,8 +59,10 @@ RECOVERY_DROP = 0.25
 _SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") == "1"
 # Chain sizes for the cold-start comparison; the gate (snapshot+tail
 # strictly faster) only applies to the largest full-mode size, where the
-# replay cost dominates any constant-factor noise.
-COLD_START_SIZES = (100, 400) if _SMOKE else (1_000, 10_000)
+# replay cost dominates any constant-factor noise.  The 100k size is the
+# explorer-scale chain bench_explorer.py queries — restart must stay
+# snapshot-bound there too.
+COLD_START_SIZES = (100, 400) if _SMOKE else (1_000, 10_000, 100_000)
 
 
 def _run(mode: str, seed: int) -> dict:

@@ -107,7 +107,8 @@ class AnalysisConfig:
     #: its own mutable state would alias the store into live consensus.
     boundary_classes: tuple[str, ...] = (
         "Peer", "SyncManager", "WorldState", "Mempool",
-        "DurableStore", "BlockLog", "SimDisk",
+        "DurableStore", "SQLiteStore", "BlockLog", "SimDisk",
+        "ChainIndex",
     )
     #: Directory names skipped during directory walks — the linter's own
     #: known-bad fixture corpus lives in tests/analysis/fixtures/.

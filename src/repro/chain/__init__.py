@@ -26,6 +26,7 @@ from repro.chain.explorer import (
     describe_transaction,
     find_transactions,
 )
+from repro.chain.index import ChainIndex
 from repro.chain.ledger import CommittedTx, Ledger
 from repro.chain.local import LocalChain
 from repro.chain.mempool import Mempool
@@ -39,6 +40,7 @@ from repro.chain.store import (
     MemoryStore,
     RecoveredChain,
     RecoveryReport,
+    SQLiteStore,
 )
 from repro.chain.sync import SyncManager, SyncMetrics
 from repro.chain.transaction import Endorsement, Transaction, TxReceipt
@@ -62,6 +64,7 @@ __all__ = [
     "describe_block",
     "describe_transaction",
     "find_transactions",
+    "ChainIndex",
     "CommittedTx",
     "Ledger",
     "LocalChain",
@@ -78,6 +81,7 @@ __all__ = [
     "BlockStore",
     "Degradation",
     "DurableStore",
+    "SQLiteStore",
     "MemoryStore",
     "RecoveredChain",
     "RecoveryReport",

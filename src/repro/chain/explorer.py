@@ -4,28 +4,56 @@ The inspection surface a block-explorer UI would sit on: summaries of
 the chain head, any block, any transaction, and the event stream — all
 plain dicts/strings so they serialize straight into a JSON API or a
 terminal table.
+
+Every query function takes an optional ``index``
+(:class:`repro.chain.index.ChainIndex`).  When one is supplied and
+covers the ledger's height, answers come from its materialized views in
+O(log n + k)-class time; otherwise the functions fall back to the
+ledger scan.  The two paths are answer-identical by contract — the
+scan-vs-index equivalence tests and ``benchmarks/bench_explorer.py``
+assert it on randomized chains — so the scan stays available as the
+cross-check oracle, not as a second source of truth.
 """
 
 from __future__ import annotations
 
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 from repro.chain.block import Block
 from repro.chain.ledger import Ledger
 from repro.chain.transaction import Transaction
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.chain.index import ChainIndex
+
 __all__ = ["chain_summary", "describe_block", "describe_transaction", "find_transactions"]
 
 
-def chain_summary(ledger: Ledger) -> dict[str, Any]:
+def _index_covers(index: "ChainIndex | None", ledger: Ledger) -> bool:
+    """An index only answers for the exact height it has seen."""
+    return index is not None and index.height == ledger.height
+
+
+def chain_summary(ledger: Ledger, index: "ChainIndex | None" = None) -> dict[str, Any]:
     """Head-of-chain overview."""
     head = ledger.head
-    valid = sum(1 for _ in ledger.transactions(valid_only=True))
-    total = ledger.total_transactions()
-    contracts: dict[str, int] = {}
-    for committed in ledger.transactions(valid_only=False):
-        name = committed.transaction.contract
-        contracts[name] = contracts.get(name, 0) + 1
+    if _index_covers(index, ledger):
+        total = len(index)
+        valid = index.valid_transactions
+        contracts = index.contract_counts()
+    else:
+        # Single scan computing the valid count and the per-contract
+        # histogram together (the seed walked the whole chain twice).
+        total = 0
+        valid = 0
+        contracts = {}
+        for committed in ledger.transactions(valid_only=False):
+            total += 1
+            if committed.valid:
+                valid += 1
+            name = committed.transaction.contract
+            contracts[name] = contracts.get(name, 0) + 1
+        contracts = dict(sorted(contracts.items()))
     return {
         "height": ledger.height,
         "head_hash": head.block_hash,
@@ -34,7 +62,7 @@ def chain_summary(ledger: Ledger) -> dict[str, Any]:
         "transactions": total,
         "valid_transactions": valid,
         "invalid_transactions": total - valid,
-        "transactions_by_contract": dict(sorted(contracts.items())),
+        "transactions_by_contract": contracts,
     }
 
 
@@ -85,10 +113,33 @@ def find_transactions(
     method: str | None = None,
     sender: str | None = None,
     limit: int = 50,
+    index: "ChainIndex | None" = None,
 ) -> list[dict[str, Any]]:
-    """Filtered transaction search, newest first."""
+    """Filtered transaction search, newest first.
+
+    With an up-to-date *index* this never touches a block: the interned
+    views answer directly.  The scan fallback walks blocks newest-first
+    and stops at *limit* — the seed built ``list(ledger.transactions())``
+    (the entire chain) before applying the limit.
+    """
+    if limit <= 0:
+        return []
+    if _index_covers(index, ledger):
+        return [
+            {
+                "tx_id": row.tx_id,
+                "block_height": row.block_height,
+                "contract": row.contract,
+                "method": row.method,
+                "sender": row.sender,
+                "valid": row.valid,
+            }
+            for row in index.find_transactions(
+                contract=contract, method=method, sender=sender, limit=limit
+            )
+        ]
     matches = []
-    for committed in reversed(list(ledger.transactions(valid_only=False))):
+    for committed in ledger.transactions_newest_first(valid_only=False):
         tx = committed.transaction
         if contract is not None and tx.contract != contract:
             continue

@@ -176,6 +176,28 @@ class Ledger:
                 if valid or not valid_only:
                     yield CommittedTx(tx, block.height, index, valid)
 
+    def transactions_newest_first(self, valid_only: bool = False) -> Iterator[CommittedTx]:
+        """Committed transactions in reverse chain order (height desc,
+        index-in-block desc), lazily block by block.
+
+        This is the explorer's walk: a consumer that stops after *k*
+        results touches at most the blocks holding those results, instead
+        of materializing the whole chain the way
+        ``reversed(list(self.transactions(...)))`` would.
+        """
+        for height in range(self.height, 0, -1):
+            block = self.block(height)
+            for index in range(len(block.transactions) - 1, -1, -1):
+                tx = block.transactions[index]
+                valid = self._validity[tx.tx_id]
+                if valid or not valid_only:
+                    yield CommittedTx(tx, height, index, valid)
+
+    def block_validity(self, height: int) -> list[bool]:
+        """The per-transaction validity vector for the block at *height*
+        (the same vector :meth:`append` recorded for it)."""
+        return [self._validity[tx.tx_id] for tx in self.block(height).transactions]
+
     def transactions_by_sender(self, sender: str) -> list[CommittedTx]:
         found = [self.get_transaction(tx_id) for tx_id in self._by_sender.get(sender, [])]
         return [c for c in found if c is not None]

@@ -21,6 +21,7 @@ from typing import Any
 
 from repro.chain.block import Block
 from repro.chain.contracts import Contract, ContractRegistry, EndorsementPolicy, check_endorsements
+from repro.chain.index import ChainIndex
 from repro.chain.ledger import Ledger
 from repro.chain.state import WorldState
 from repro.chain.transaction import (
@@ -49,6 +50,8 @@ class LocalChain:
         self.keypair = KeyPair.generate(self.rng)
         self.registry = ContractRegistry()
         self.ledger = Ledger()
+        #: Explorer index, fed at every commit (see repro.chain.index).
+        self.index = ChainIndex()
         self.state = WorldState()
         self.sharded_executor = ShardedExecutor(n_shards) if n_shards else None
         self._clock = 0.0
@@ -148,6 +151,7 @@ class LocalChain:
                 )
             )
         self.ledger.append(block, validity)
+        self.index.on_commit(block, validity)
         if self.sharded_executor is not None and valid_txs:
             self.sharded_executor.plan_block(valid_txs)
         return receipts

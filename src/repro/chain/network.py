@@ -22,7 +22,7 @@ from typing import Any, Callable, Literal
 from repro.chain.consensus import PBFTEngine, RoundRobinOrderer, ShardedExecutor
 from repro.chain.contracts import Contract, ContractRegistry, EndorsementPolicy  # noqa: F401 - re-exported
 from repro.chain.peer import Admission, Peer
-from repro.chain.store import BlockStore, DurableStore, MemoryStore
+from repro.chain.store import BlockStore, DurableStore, MemoryStore, SQLiteStore
 from repro.chain.transaction import Transaction, TxReceipt
 from repro.crypto.keys import KeyPair
 from repro.errors import ChainError, ContractError, EndorsementError
@@ -32,7 +32,7 @@ from repro.simnet import LatencyModel, Network, SimDisk, Simulator
 __all__ = ["BlockchainNetwork", "ChainClient"]
 
 ConsensusKind = Literal["poa", "pbft"]
-StorageKind = Literal["memory", "durable"]
+StorageKind = Literal["memory", "durable", "sqlite"]
 
 
 @dataclass
@@ -118,7 +118,9 @@ class BlockchainNetwork:
         self.pipeline_depth = pipeline_depth
         #: ``"memory"`` keeps the seed in-memory ledger; ``"durable"``
         #: gives every peer a fault-injectable SimDisk + DurableStore so
-        #: restart is snapshot+tail recovery, not full replay.
+        #: restart is snapshot+tail recovery, not full replay; ``"sqlite"``
+        #: swaps the snapshot files for serialized sqlite3 images with
+        #: interned tx tables (same WAL, same recovery ladder).
         self.storage = storage
         self.snapshot_interval = snapshot_interval
         peer_ids = [f"peer-{i}" for i in range(n_peers)]
@@ -166,12 +168,13 @@ class BlockchainNetwork:
 
     def _make_store(self, peer_id: str) -> BlockStore:
         """One storage backend per peer, per the network's ``storage``."""
-        if self.storage == "durable":
+        if self.storage in ("durable", "sqlite"):
             disk = SimDisk(
                 node_id=peer_id,
                 rng=random.Random(f"disk:{self.seed}:{peer_id}"),
             )
-            return DurableStore(
+            cls = SQLiteStore if self.storage == "sqlite" else DurableStore
+            return cls(
                 disk=disk, node_id=peer_id, snapshot_interval=self.snapshot_interval
             )
         return MemoryStore()

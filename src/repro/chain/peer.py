@@ -26,6 +26,7 @@ from repro.chain.consensus.sharded import ShardedExecutor
 from repro.chain.contracts import ContractRegistry, EndorsementPolicy, check_endorsements
 from repro.chain.contracts.runtime import ExecutionResult
 from repro.chain.block import Block
+from repro.chain.index import ChainIndex
 from repro.chain.ledger import Ledger
 from repro.chain.mempool import Mempool
 from repro.chain.state import WorldState
@@ -152,6 +153,10 @@ class Peer(NetworkNode):
         #: write-ahead logs every commit and makes restart a *recovery*.
         self.store: BlockStore = store if store is not None else MemoryStore()
         self.ledger = Ledger()
+        #: Explorer-grade secondary index, fed incrementally at commit and
+        #: rebuilt from the recovered ledger on restart — explorer queries
+        #: against this peer answer from materialized views, not scans.
+        self.index = ChainIndex()
         self.state = WorldState()
         self.mempool = Mempool()
         self.receipts: dict[str, TxReceipt] = {}
@@ -314,6 +319,7 @@ class Peer(NetworkNode):
             else:
                 self.metrics.txs_committed_invalid += 1
         self.ledger.append(block, validity)
+        self.index.on_commit(block, validity)
         # Write-ahead durability: the record (block + verdicts + error
         # strings + consensus proof) is logged and fsync'd-in-model before
         # this commit is acknowledged durable; recovery re-verifies the
@@ -387,6 +393,9 @@ class Peer(NetworkNode):
             self.ledger = recovered.ledger
             self.state = recovered.state
             self.receipts = recovered.receipts
+        # The in-memory index is volatile: rebuild it from whatever chain
+        # survived (recovery may have truncated below the pre-crash tip).
+        self.index.reindex(self.ledger)
         self.engine.on_restart()
         if recovered is not None:
             self._reseed_engine_proofs(recovered.proofs)

@@ -1,9 +1,11 @@
-"""Pluggable block storage: in-memory (seed behaviour) or durable.
+"""Pluggable block storage: in-memory (seed behaviour), durable, or sqlite.
 
 See :mod:`repro.chain.store.base` for the interface,
 :mod:`repro.chain.store.durable` for the write-ahead-log + snapshot
-backend, and ``docs/API.md`` for the record format and the recovery
-degradation ladder.
+backend, :mod:`repro.chain.store.sqlite` for the relational backend
+(same WAL, serialized sqlite3 snapshot images, schema migrations), and
+``docs/API.md`` for the record format and the recovery degradation
+ladder.
 """
 
 from repro.chain.store.base import BlockStore, Degradation, RecoveredChain, RecoveryReport
@@ -13,6 +15,7 @@ from repro.chain.store.inspect import inspect_disk, inspect_files, render_inspec
 from repro.chain.store.log import BlockLog, LogRecord, LogScan, scan_log_bytes
 from repro.chain.store.memory import MemoryStore
 from repro.chain.store.snapshots import list_snapshots, load_snapshot, write_snapshot
+from repro.chain.store.sqlite import SQLiteStore
 
 __all__ = [
     "BlockStore",
@@ -21,6 +24,7 @@ __all__ = [
     "RecoveryReport",
     "MemoryStore",
     "DurableStore",
+    "SQLiteStore",
     "BlockLog",
     "LogRecord",
     "LogScan",

@@ -48,7 +48,12 @@ from repro.chain.store.codec import (
     receipt_to_obj,
 )
 from repro.chain.store.log import BlockLog, LogRecord
-from repro.chain.store.snapshots import list_snapshots, load_snapshot, write_snapshot
+from repro.chain.store.snapshots import (
+    SnapshotCandidate,
+    list_snapshots,
+    load_snapshot,
+    write_snapshot,
+)
 from repro.chain.transaction import TxReceipt
 from repro.errors import InvalidBlockError
 from repro.obs import MetricsRegistry
@@ -86,6 +91,11 @@ class DurableStore(BlockStore):
         snapshot_interval: int = 64,
         keep_snapshots: int = 2,
     ):
+        if keep_snapshots < 1:
+            # keep=0 used to slip through to write_snapshot's [:-keep]
+            # prune slice, which is empty for keep <= 0: "keep none"
+            # silently became "keep everything".
+            raise ValueError(f"keep_snapshots must be >= 1, got {keep_snapshots}")
         self.disk = disk if disk is not None else SimDisk(node_id)
         self.log = BlockLog(self.disk)
         self.snapshot_interval = snapshot_interval
@@ -129,20 +139,46 @@ class DurableStore(BlockStore):
         height = ledger.height
         if height == 0 or height - self.last_snapshot_height < self.snapshot_interval:
             return False
+        written = self._write_snapshot(ledger, state, receipts)
+        self.last_snapshot_height = height
+        self._count("store.snapshots_written")
+        self._count("store.snapshot_bytes", written)
+        return True
+
+    # -- snapshot media (overridable: SQLiteStore swaps the file format) ---
+
+    def _write_snapshot(
+        self, ledger: Ledger, state: WorldState, receipts: dict[str, TxReceipt]
+    ) -> int:
+        """Persist one snapshot of *ledger*'s current height; returns bytes
+        written.  Subclasses may store a different on-disk format as long
+        as :meth:`_load_snapshot` returns the canonical snapshot object."""
         receipt_objs = [receipt_to_obj(receipts[tx_id]) for tx_id in sorted(receipts)]
-        written = write_snapshot(
+        return write_snapshot(
             self.disk,
-            height,
+            ledger.height,
             ledger.head.block_hash,
             state.dump(),
             receipt_objs,
             ledger.index_dump(),
             keep=self.keep_snapshots,
         )
-        self.last_snapshot_height = height
-        self._count("store.snapshots_written")
-        self._count("store.snapshot_bytes", written)
-        return True
+
+    def _snapshot_candidates(self) -> list[SnapshotCandidate]:
+        """Durable snapshot artifacts, oldest first (unverified)."""
+        return list_snapshots(self.disk)
+
+    def _load_snapshot(self, candidate: SnapshotCandidate) -> dict[str, Any] | None:
+        """Verify-before-trust load of one candidate; ``None`` on any
+        failure (the ladder counts it as ``snapshot-corrupt`` and moves
+        on).  Must return a dict with ``height``/``block_hash``/``state``/
+        ``receipts``/``indexes`` keys — the shape :meth:`_assemble` eats."""
+        return load_snapshot(self.disk, candidate)
+
+    def _discard_snapshot(self, candidate: SnapshotCandidate) -> None:
+        """Drop a candidate that failed verification or contradicted the
+        log, so the next recovery doesn't retry it."""
+        self.disk.delete(candidate.name)
 
     # -- recovery ----------------------------------------------------------
 
@@ -165,20 +201,20 @@ class DurableStore(BlockStore):
         recovered: RecoveredChain | None = None
         while recovered is None:
             tip = records[-1].height if records else 0
-            candidates = [c for c in list_snapshots(self.disk) if 1 <= c.height <= tip]
+            candidates = [c for c in self._snapshot_candidates() if 1 <= c.height <= tip]
             plans: list[Any] = list(reversed(candidates)) + [None]
             corruption: _TailCorruption | None = None
             for candidate in plans:
                 snap_obj = None
                 if candidate is not None:
-                    snap_obj = load_snapshot(self.disk, candidate)
+                    snap_obj = self._load_snapshot(candidate)
                     if snap_obj is None:
                         degrade(
                             "snapshot-corrupt",
                             f"snapshot at height {candidate.height} failed verification",
                             candidate.height,
                         )
-                        self.disk.delete(candidate.name)
+                        self._discard_snapshot(candidate)
                         continue
                 try:
                     recovered = self._assemble(records, snap_obj, engine, report)
@@ -189,7 +225,7 @@ class DurableStore(BlockStore):
                         f"snapshot at height {candidate.height} disagrees with the log",
                         candidate.height,
                     )
-                    self.disk.delete(candidate.name)
+                    self._discard_snapshot(candidate)
                     continue
                 except _TailCorruption as exc:
                     corruption = exc

@@ -52,8 +52,36 @@ def _inspect_snapshot(name: str, data: bytes) -> dict[str, Any]:
     return info
 
 
+def _inspect_sqlite_image(name: str, data: bytes) -> dict[str, Any]:
+    """Frame-level health of a serialized sqlite3 snapshot image
+    (``chain-<height>.sqlite``, see :mod:`repro.chain.store.sqlite`)."""
+    from repro.chain.store.sqlite import _image_height
+
+    info: dict[str, Any] = {"file": name, "bytes": len(data), "valid": False}
+    if len(data) < _SNAP_HEADER.size:
+        info["problem"] = "shorter than header"
+        return info
+    magic, length, crc = _SNAP_HEADER.unpack_from(data, 0)
+    if magic != b"RQ":
+        info["problem"] = "bad magic"
+        return info
+    payload = data[_SNAP_HEADER.size : _SNAP_HEADER.size + length]
+    if len(payload) < length:
+        info["problem"] = "truncated payload"
+        return info
+    if zlib.crc32(payload) != crc:
+        info["problem"] = "CRC mismatch"
+        return info
+    info["valid"] = True
+    info["height"] = _image_height(name)
+    info["kind"] = "sqlite-image"
+    return info
+
+
 def inspect_files(files: dict[str, bytes]) -> dict[str, Any]:
     """Structured health report over ``{file name: durable bytes}``."""
+    from repro.chain.store.sqlite import _image_height
+
     log_data = files.get(LOG_NAME, b"")
     scan = scan_log_bytes(log_data)
     snapshots = [
@@ -61,6 +89,12 @@ def inspect_files(files: dict[str, bytes]) -> dict[str, Any]:
         for name, data in sorted(files.items())
         if name.startswith(SNAPSHOT_PREFIX)
     ]
+    snapshots += [
+        _inspect_sqlite_image(name, data)
+        for name, data in sorted(files.items())
+        if _image_height(name) is not None
+    ]
+    snapshots.sort(key=lambda s: (s.get("height") is None, s.get("height"), s["file"]))
     valid_snap_heights = [s["height"] for s in snapshots if s["valid"] and s["height"] <= scan.tip]
     recovery_snapshot = max(valid_snap_heights, default=0)
     return {
@@ -104,13 +138,18 @@ def render_inspection(info: dict[str, Any]) -> str:
     if not info["snapshots"]:
         lines.append("  (none)")
     for snap in info["snapshots"]:
-        if snap["valid"]:
+        if not snap["valid"]:
+            lines.append(f"  {snap['file']}: INVALID ({snap['problem']})")
+        elif snap.get("kind") == "sqlite-image":
+            lines.append(
+                f"  {snap['file']}: OK, height {snap['height']}, "
+                f"sqlite image ({snap['bytes']}B)"
+            )
+        else:
             lines.append(
                 f"  {snap['file']}: OK, height {snap['height']}, "
                 f"{snap['state_keys']} state keys, {snap['receipts']} receipts"
             )
-        else:
-            lines.append(f"  {snap['file']}: INVALID ({snap['problem']})")
     recovery = info["recovery"]
     lines.append(
         f"recovery would use: {recovery['mode']} "

@@ -55,7 +55,14 @@ def write_snapshot(
     indexes: dict[str, Any],
     keep: int = 2,
 ) -> int:
-    """Write + fsync one snapshot, prune to the newest *keep*; returns bytes."""
+    """Write + fsync one snapshot, prune to the newest *keep*; returns bytes.
+
+    *keep* must be >= 1: ``list_snapshots(disk)[:-keep]`` with ``keep <= 0``
+    slices to the empty list, silently pruning nothing — the caller asked
+    for "keep none" and got "keep everything", an unbounded disk leak.
+    """
+    if keep < 1:
+        raise ValueError(f"keep must be >= 1, got {keep}")
     payload = encode_obj(
         {
             "height": height,

@@ -6,6 +6,7 @@ Installed as the ``repro-news`` console script::
     repro-news corpus --out news.jsonl  # generate a labeled corpus
     repro-news race --trials 10         # fake-vs-factual race summary
     repro-news stats                    # build a world and print analytics
+    repro-news explore                  # index-served block-explorer queries
     repro-news store --demo             # durable-store fault/recovery tour
 
 Each subcommand is a thin wrapper over the public API, so the CLI doubles
@@ -52,6 +53,17 @@ def build_parser() -> argparse.ArgumentParser:
 
     subparsers.add_parser("stats", help="build a demo world and print ledger analytics")
 
+    explore = subparsers.add_parser(
+        "explore",
+        help="block-explorer queries over a demo chain, answered from the "
+        "materialized index (cross-checked against the ledger scan)",
+    )
+    explore.add_argument("--contract", default=None, help="filter by contract name")
+    explore.add_argument("--method", default=None, help="filter by contract method")
+    explore.add_argument("--sender", default=None, help="filter by sender address")
+    explore.add_argument("--limit", type=int, default=10, help="max rows (default: 10)")
+    explore.add_argument("--seed", type=int, default=77)
+
     report = subparsers.add_parser(
         "report", help="per-phase latency report from an observability trace"
     )
@@ -86,6 +98,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     store.add_argument("--txs", type=int, default=30, help="--demo transaction count")
     store.add_argument("--seed", type=int, default=7)
+    store.add_argument(
+        "--backend", choices=("durable", "sqlite"), default="durable",
+        help="--demo storage backend: CRC-framed snapshot files (durable) "
+        "or serialized sqlite3 images with interned tx tables (sqlite)",
+    )
     store.add_argument(
         "--dump", default=None, metavar="DIR",
         help="--demo: also write the faulted peer's disk files to DIR",
@@ -170,18 +187,20 @@ def _run_race(args: argparse.Namespace) -> int:
     return 0
 
 
-def _run_stats() -> int:
+def _build_demo_world(seed: int = 77):
+    """The shared demo world: a cascade of shares committed on-chain.
+    Used by both ``stats`` (analytics) and ``explore`` (index queries)."""
     import random
 
-    from repro.core import TrustingNewsPlatform, account_report, topic_statistics
+    from repro.core import TrustingNewsPlatform
     from repro.corpus import CorpusGenerator
     from repro.social import CascadeRunner, bind_agents, make_population, scale_free_follow_graph
 
-    platform = TrustingNewsPlatform(seed=77)
-    graph = scale_free_follow_graph(200, seed=77)
-    agents = make_population(200, random.Random(77))
+    platform = TrustingNewsPlatform(seed=seed)
+    graph = scale_free_follow_graph(200, seed=seed)
+    agents = make_population(200, random.Random(seed))
     bind_agents(graph, agents)
-    corpus = CorpusGenerator(seed=78)
+    corpus = CorpusGenerator(seed=seed + 1)
     fact = corpus.factual(topic="politics")
     platform.seed_fact("f-demo", fact.text, "public-record", "politics")
     seed_share = corpus.relay_derivation(fact, "agent-00000", 0.0)
@@ -198,6 +217,13 @@ def _run_stats() -> int:
     )
     hub = max(graph.nodes(), key=lambda n: graph.out_degree(n))
     runner.run([(hub, seed_share)], n_rounds=6)
+    return platform
+
+
+def _run_stats() -> int:
+    from repro.core import account_report, topic_statistics
+
+    platform = _build_demo_world(seed=77)
     print("topic statistics:")
     for stat in topic_statistics(platform.graph):
         print(f"  {stat.as_row()}")
@@ -206,6 +232,44 @@ def _run_stats() -> int:
           f"descendants={report.descendants}")
     print("platform stats:", platform.stats())
     return 0
+
+
+def _run_explore(args: argparse.Namespace) -> int:
+    """Explorer queries over the demo chain, served from the index.
+
+    Every answer comes from the peer's :class:`~repro.chain.index.
+    ChainIndex` materialized views; the final line is the index-vs-scan
+    cross-check (``verify_against``), so this doubles as a live
+    demonstration that the fast path and the fallback agree.
+    """
+    from repro.chain import chain_summary, find_transactions
+
+    platform = _build_demo_world(seed=args.seed)
+    ledger = platform.chain.ledger
+    index = platform.chain.index
+
+    summary = chain_summary(ledger, index=index)
+    print("chain summary:")
+    for key, value in summary.items():
+        print(f"  {key}: {value}")
+    print()
+    rows = find_transactions(
+        ledger, contract=args.contract, method=args.method,
+        sender=args.sender, limit=args.limit, index=index,
+    )
+    filters = {k: v for k, v in
+               (("contract", args.contract), ("method", args.method),
+                ("sender", args.sender)) if v is not None}
+    print(f"newest {len(rows)} transactions (filters: {filters or 'none'}):")
+    for row in rows:
+        flag = "ok " if row["valid"] else "BAD"
+        print(f"  h={row['block_height']:>4} {flag} {row['tx_id'][:12]} "
+              f"{row['contract']}.{row['method']} from {row['sender'][:18]}")
+    problems = index.verify_against(ledger)
+    print()
+    print(f"index stats: {index.stats()}")
+    print(f"index/scan cross-check: {'clean' if not problems else problems}")
+    return 0 if not problems else 1
 
 
 def _run_report(args: argparse.Namespace) -> int:
@@ -314,7 +378,7 @@ def _run_store_demo(args: argparse.Namespace) -> int:
     net = BlockchainNetwork(
         n_peers=4, consensus="pbft", block_interval=0.25,
         latency=FixedLatency(0.02), seed=args.seed,
-        storage="durable", snapshot_interval=8,
+        storage=args.backend, snapshot_interval=8,
     )
     net.install_contract(IdentityContract)
     auditor = InvariantAuditor(net)
@@ -350,6 +414,10 @@ def _run_store_demo(args: argparse.Namespace) -> int:
         print("last recovery:")
         for key, value in report.summary().items():
             print(f"  {key}: {value}")
+    sql_stats = getattr(peer.store, "sql_stats", None)
+    if sql_stats is not None:
+        print()
+        print("sqlite backend:", sql_stats())
     violations = auditor.final_check(failures=schedule.log)
     heights = sorted({p.ledger.height for p in net.peers})
     print()
@@ -385,6 +453,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _run_race(args)
     if args.command == "stats":
         return _run_stats()
+    if args.command == "explore":
+        return _run_explore(args)
     if args.command == "report":
         return _run_report(args)
     if args.command == "store":

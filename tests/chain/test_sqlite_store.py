@@ -1,0 +1,319 @@
+"""SQLiteStore-specific tests: image media, schema migrations, SQL views.
+
+The backend-agnostic recovery contract (full replay, snapshot+tail,
+torn-tail reconciliation, acked tracking) runs against SQLiteStore via
+the parametrized suites in ``test_store.py``/``test_store_recovery.py``.
+This file covers what is unique to the relational backend: CRC-framed
+serialized sqlite3 images as the snapshot media, generation fallback and
+full-replay degradation when images are damaged, forward schema
+migration (a v1 image is upgraded in place on load, a future-versioned
+one is refused), reconciliation of the tx tables against the recovered
+chain, and the SQL query surface answering identically to the explorer
+scan.
+"""
+
+from __future__ import annotations
+
+import random
+import sqlite3
+import zlib
+
+import pytest
+
+from repro.chain.explorer import find_transactions
+from repro.chain.store import SQLiteStore
+from repro.chain.store.codec import encode_obj, receipt_to_obj
+from repro.chain.store.sqlite import _HEADER, _MAGIC, SCHEMA_VERSION, image_name
+from repro.chain.transaction import TxReceipt
+from repro.crypto import KeyPair
+from repro.obs import MetricsRegistry
+from repro.simnet.disk import SimDisk
+
+from tests.chain.test_store import _build_chain, _populate
+
+
+@pytest.fixture
+def keypair():
+    return KeyPair.generate(random.Random(0))
+
+
+def _image_heights(store):
+    return [c.height for c in store._snapshot_candidates()]
+
+
+# -- snapshot media ----------------------------------------------------------
+
+
+def test_snapshot_writes_pruned_image_generations(keypair):
+    _, commits = _build_chain(keypair, 20)
+    store = SQLiteStore(disk=SimDisk("n0"), snapshot_interval=4, keep_snapshots=2)
+    _populate(store, commits, snapshots=True)
+    assert _image_heights(store) == [16, 20]
+    assert sorted(store.disk.names_with_role("snapshot")) == [
+        c.name for c in store._snapshot_candidates()
+    ]
+
+
+def test_corrupt_image_falls_back_to_previous_generation(keypair):
+    ledger, commits = _build_chain(keypair, 12)
+    disk = SimDisk("n0", rng=random.Random(9))
+    store = SQLiteStore(disk=disk, snapshot_interval=4, keep_snapshots=2)
+    state = _populate(store, commits, snapshots=True)
+    assert _image_heights(store) == [8, 12]
+    assert disk.corrupt(name=image_name(12)) is not None
+    recovered = store.recover()
+    report = recovered.report
+    assert report.mode == "snapshot+tail"
+    assert report.snapshot_height == 8
+    assert [d.kind for d in report.degradations] == ["snapshot-corrupt"]
+    assert recovered.ledger.height == 12
+    assert recovered.state.state_digest() == state.state_digest()
+    # The bad image was discarded; the older generation survives.
+    assert _image_heights(store) == [8]
+    # The adopted live database was reconciled up to the log tip.
+    assert store.sql_stats()["indexed_height"] == 12
+    assert store.sql_stats()["txs"] == 24
+
+
+def test_all_images_corrupt_falls_back_to_full_replay(keypair):
+    ledger, commits = _build_chain(keypair, 9)
+    disk = SimDisk("n0", rng=random.Random(11))
+    store = SQLiteStore(disk=disk, snapshot_interval=4, keep_snapshots=2)
+    state = _populate(store, commits, snapshots=True)
+    for candidate in store._snapshot_candidates():
+        assert disk.corrupt(offset=100, name=candidate.name) is not None
+    recovered = store.recover()
+    assert recovered.report.mode == "full-replay"
+    assert {d.kind for d in recovered.report.degradations} == {"snapshot-corrupt"}
+    assert recovered.ledger.height == 9
+    assert recovered.state.state_digest() == state.state_digest()
+    # Full replay rebuilt the relational tables from scratch.
+    assert store.sql_stats()["indexed_height"] == 9
+    assert store.sql_stats()["txs"] == 18
+
+
+def test_image_with_mismatched_height_is_rejected(keypair):
+    """An image whose internal snapshot row disagrees with its file name
+    cannot be trusted (a renamed or cross-wired artifact)."""
+    _, commits = _build_chain(keypair, 8)
+    disk = SimDisk("n0")
+    store = SQLiteStore(disk=disk, snapshot_interval=4, keep_snapshots=1)
+    _populate(store, commits, snapshots=True)
+    [candidate] = store._snapshot_candidates()
+    data = disk.read(candidate.name)
+    lying = image_name(6)
+    disk.set_role(lying, "snapshot")
+    disk.append(lying, data)
+    disk.fsync(lying)
+    disk.delete(candidate.name)
+    recovered = store.recover()
+    assert recovered.report.mode == "full-replay"
+    assert [d.kind for d in recovered.report.degradations] == ["snapshot-corrupt"]
+    assert recovered.ledger.height == 8
+
+
+def test_tx_tables_reconciled_after_log_truncation(keypair):
+    """A torn tail shortens the chain below what the tables indexed: the
+    adopted database must not keep rows for blocks that no longer exist."""
+    _, commits = _build_chain(keypair, 10)
+    disk = SimDisk("n0", rng=random.Random(7))
+    store = SQLiteStore(disk=disk, snapshot_interval=4, keep_snapshots=2)
+    _populate(store, commits, snapshots=True)
+    disk.arm_torn_write()
+    disk.on_crash()
+    recovered = store.recover()
+    tip = recovered.report.recovered_height
+    assert tip == 9  # last record torn off
+    stats = store.sql_stats()
+    assert stats["indexed_height"] == tip
+    conn = store.connection()
+    assert conn.execute(
+        "SELECT COUNT(*) FROM txs WHERE height > ?", (tip,)
+    ).fetchone()[0] == 0
+    assert conn.execute("SELECT COUNT(*) FROM txs").fetchone()[0] == 2 * tip
+
+
+# -- schema versioning -------------------------------------------------------
+
+_SCHEMA_V1 = """
+CREATE TABLE meta (key TEXT PRIMARY KEY, value TEXT NOT NULL);
+CREATE TABLE addresses (id INTEGER PRIMARY KEY, address TEXT UNIQUE NOT NULL);
+CREATE TABLE contracts (id INTEGER PRIMARY KEY, name TEXT UNIQUE NOT NULL);
+CREATE TABLE txs (
+    tx_id TEXT PRIMARY KEY,
+    height INTEGER NOT NULL,
+    tx_index INTEGER NOT NULL,
+    sender_id INTEGER NOT NULL REFERENCES addresses(id),
+    contract_id INTEGER NOT NULL REFERENCES contracts(id),
+    method TEXT NOT NULL,
+    valid INTEGER NOT NULL
+);
+CREATE UNIQUE INDEX idx_txs_chain ON txs(height, tx_index);
+CREATE TABLE snapshot (
+    height INTEGER PRIMARY KEY,
+    block_hash TEXT NOT NULL,
+    state BLOB NOT NULL,
+    receipts BLOB NOT NULL
+);
+"""
+
+
+def _receipt_objs(commits):
+    receipts: dict[str, TxReceipt] = {}
+    for block, validity, errors in commits:
+        for index, tx in enumerate(block.transactions):
+            verdict = validity[index]
+            receipt = TxReceipt(
+                tx_id=tx.tx_id, block_height=block.height, success=verdict,
+                return_value=tx.return_value if verdict else None,
+                events=tx.events if verdict else (), error=errors[index],
+            )
+            existing = receipts.get(tx.tx_id)
+            if existing is None or verdict or not existing.success:
+                receipts[tx.tx_id] = receipt
+    return [receipt_to_obj(receipts[tx_id]) for tx_id in sorted(receipts)]
+
+
+def _write_image(disk, height, conn):
+    payload = bytes(conn.serialize())
+    name = image_name(height)
+    disk.set_role(name, "snapshot")
+    disk.append(name, _HEADER.pack(_MAGIC, len(payload), zlib.crc32(payload)) + payload)
+    disk.fsync(name)
+    return name
+
+
+def _build_v1_image(disk, ledger, commits, state):
+    """Hand-write a schema-v1 image at the chain head, as a pre-upgrade
+    deployment would have left it on disk."""
+    height = ledger.height
+    conn = sqlite3.connect(":memory:")
+    conn.executescript(_SCHEMA_V1)
+    conn.execute("INSERT INTO meta VALUES ('schema_version', '1')")
+    conn.execute("INSERT INTO meta VALUES ('indexed_height', ?)", (str(height),))
+    interned_addr: dict[str, int] = {}
+    interned_contract: dict[str, int] = {}
+    for block, validity, _ in commits:
+        for tx_index, tx in enumerate(block.transactions):
+            if tx.sender not in interned_addr:
+                interned_addr[tx.sender] = conn.execute(
+                    "INSERT INTO addresses (address) VALUES (?)", (tx.sender,)
+                ).lastrowid
+            if tx.contract not in interned_contract:
+                interned_contract[tx.contract] = conn.execute(
+                    "INSERT INTO contracts (name) VALUES (?)", (tx.contract,)
+                ).lastrowid
+            conn.execute(
+                "INSERT INTO txs VALUES (?, ?, ?, ?, ?, ?, ?)",
+                (
+                    tx.tx_id, block.height, tx_index,
+                    interned_addr[tx.sender], interned_contract[tx.contract],
+                    tx.method, 1 if validity[tx_index] else 0,
+                ),
+            )
+    conn.execute(
+        "INSERT INTO snapshot VALUES (?, ?, ?, ?)",
+        (
+            height, ledger.head.block_hash,
+            encode_obj(state.dump()), encode_obj(_receipt_objs(commits)),
+        ),
+    )
+    conn.commit()
+    name = _write_image(disk, height, conn)
+    conn.close()
+    return name
+
+
+def test_v1_image_is_migrated_forward_on_load(keypair):
+    ledger, commits = _build_chain(keypair, 6, txs_per_block=3)
+    disk = SimDisk("n0")
+    store = SQLiteStore(disk=disk, snapshot_interval=1000)  # no v2 images
+    registry = MetricsRegistry()
+    store.attach(registry, "n0")
+    state = _populate(store, commits)
+    _build_v1_image(disk, ledger, commits, state)
+
+    recovered = store.recover()
+    report = recovered.report
+    assert report.mode == "snapshot+tail"
+    assert report.snapshot_height == 6
+    assert report.degradations == []  # migration is an upgrade, not a loss
+    assert recovered.ledger.height == 6
+    assert recovered.state.state_digest() == state.state_digest()
+    assert {r.tx_id: r.success for r in recovered.receipts.values()} == {
+        tx.tx_id: validity[i]
+        for block, validity, _ in commits
+        for i, tx in enumerate(block.transactions)
+    }
+    # The adopted live database now speaks the current schema: the
+    # methods table exists, is linked, and serves queries.
+    stats = store.sql_stats()
+    assert stats["schema_version"] == SCHEMA_VERSION
+    assert stats["methods"] == 1
+    assert stats["txs"] == 18
+    assert store.query_transactions(method="increment", limit=5) == find_transactions(
+        recovered.ledger, method="increment", limit=5
+    )
+    assert registry.total("store.schema_migrations") == 1
+
+
+def test_future_schema_version_is_refused(keypair):
+    """A downgrade scenario: an image written by a *newer* deployment
+    must not be half-understood — the ladder treats it as corrupt and
+    falls back (here: to full replay)."""
+    ledger, commits = _build_chain(keypair, 5)
+    disk = SimDisk("n0")
+    store = SQLiteStore(disk=disk, snapshot_interval=1000)
+    state = _populate(store, commits)
+    conn = sqlite3.connect(":memory:")
+    conn.executescript(_SCHEMA_V1)
+    conn.execute(
+        "INSERT INTO meta VALUES ('schema_version', ?)", (str(SCHEMA_VERSION + 1),)
+    )
+    conn.execute(
+        "INSERT INTO snapshot VALUES (?, ?, ?, ?)",
+        (5, ledger.head.block_hash, encode_obj(state.dump()), encode_obj([])),
+    )
+    conn.commit()
+    _write_image(disk, 5, conn)
+    conn.close()
+    recovered = store.recover()
+    assert recovered.report.mode == "full-replay"
+    assert [d.kind for d in recovered.report.degradations] == ["snapshot-corrupt"]
+    assert recovered.ledger.height == 5
+    assert recovered.state.state_digest() == state.state_digest()
+
+
+# -- SQL query surface -------------------------------------------------------
+
+
+def test_query_transactions_matches_explorer_scan(keypair):
+    ledger, commits = _build_chain(keypair, 15, txs_per_block=3)
+    store = SQLiteStore(disk=SimDisk("n0"), snapshot_interval=4)
+    _populate(store, commits, snapshots=True)
+    for kwargs in (
+        {},
+        {"limit": 7},
+        {"contract": "counter"},
+        {"method": "increment", "limit": 4},
+        {"sender": keypair.address},
+        {"contract": "counter", "method": "increment", "sender": keypair.address},
+        {"contract": "absent"},
+        {"sender": "nobody"},
+        {"limit": 0},
+    ):
+        assert store.query_transactions(**kwargs) == find_transactions(
+            ledger, **kwargs
+        ), kwargs
+
+
+def test_query_surface_survives_crash_recovery(keypair):
+    ledger, commits = _build_chain(keypair, 12, txs_per_block=2)
+    disk = SimDisk("n0", rng=random.Random(3))
+    store = SQLiteStore(disk=disk, snapshot_interval=4)
+    _populate(store, commits, snapshots=True)
+    before = store.query_transactions(limit=50)
+    disk.on_crash()  # loses nothing durable; the live conn is rebuilt
+    recovered = store.recover()
+    assert recovered.ledger.height == 12
+    assert store.query_transactions(limit=50) == before

@@ -21,6 +21,7 @@ from repro.chain.state import WorldState
 from repro.chain.store import (
     DurableStore,
     MemoryStore,
+    SQLiteStore,
     decode_record,
     encode_record,
     inspect_disk,
@@ -28,6 +29,7 @@ from repro.chain.store import (
     load_snapshot,
     render_inspection,
     scan_log_bytes,
+    write_snapshot,
 )
 from repro.chain.store.log import BlockLog
 from repro.chain.transaction import Transaction, TxReceipt
@@ -39,6 +41,14 @@ from repro.simnet.disk import SimDisk
 @pytest.fixture
 def keypair():
     return KeyPair.generate(random.Random(0))
+
+
+#: Backend-agnostic contract tests run against both durable backends —
+#: SQLiteStore must honour every recovery-ladder promise DurableStore
+#: makes (same log, different snapshot media).
+@pytest.fixture(params=["durable", "sqlite"])
+def store_cls(request):
+    return {"durable": DurableStore, "sqlite": SQLiteStore}[request.param]
 
 
 def _tx(keypair, nonce):
@@ -241,9 +251,9 @@ def test_record_codec_roundtrip(keypair):
 # -- DurableStore end to end ------------------------------------------------
 
 
-def test_durable_store_recovers_full_replay(keypair):
+def test_durable_store_recovers_full_replay(keypair, store_cls):
     ledger, commits = _build_chain(keypair, 5)
-    store = DurableStore(disk=SimDisk("n0"), snapshot_interval=100)
+    store = store_cls(disk=SimDisk("n0"), snapshot_interval=100)
     state = _populate(store, commits)
     recovered = store.recover()
     assert recovered.report.mode == "full-replay"
@@ -254,9 +264,9 @@ def test_durable_store_recovers_full_replay(keypair):
     assert recovered.report.missing_acked == {}
 
 
-def test_durable_store_recovers_snapshot_plus_tail(keypair):
+def test_durable_store_recovers_snapshot_plus_tail(keypair, store_cls):
     ledger, commits = _build_chain(keypair, 10)
-    store = DurableStore(disk=SimDisk("n0"), snapshot_interval=4)
+    store = store_cls(disk=SimDisk("n0"), snapshot_interval=4)
     state = _populate(store, commits, snapshots=True)
     assert store.last_snapshot_height == 8
     recovered = store.recover()
@@ -272,9 +282,9 @@ def test_durable_store_recovers_snapshot_plus_tail(keypair):
     recovered.ledger.verify_chain()
 
 
-def test_durable_store_receipts_survive_snapshot_recovery(keypair):
+def test_durable_store_receipts_survive_snapshot_recovery(keypair, store_cls):
     ledger, commits = _build_chain(keypair, 10, txs_per_block=3)
-    store = DurableStore(disk=SimDisk("n0"), snapshot_interval=4)
+    store = store_cls(disk=SimDisk("n0"), snapshot_interval=4)
     _populate(store, commits, snapshots=True)
     recovered = store.recover()
     expected = {
@@ -289,10 +299,10 @@ def test_durable_store_receipts_survive_snapshot_recovery(keypair):
     assert recovered.receipts[failed].error == "MVCC conflict: stale read set"
 
 
-def test_torn_tail_truncates_and_reconciles_acked(keypair):
+def test_torn_tail_truncates_and_reconciles_acked(keypair, store_cls):
     _, commits = _build_chain(keypair, 6)
     disk = SimDisk("n0", rng=random.Random(7))
-    store = DurableStore(disk=disk, snapshot_interval=100)
+    store = store_cls(disk=disk, snapshot_interval=100)
     _populate(store, commits)
     disk.arm_torn_write()
     disk.on_crash()
@@ -308,10 +318,10 @@ def test_torn_tail_truncates_and_reconciles_acked(keypair):
     assert again.ledger.height == 5
 
 
-def test_partial_flush_loss_is_counted_not_silent(keypair):
+def test_partial_flush_loss_is_counted_not_silent(keypair, store_cls):
     _, commits = _build_chain(keypair, 6)
     disk = SimDisk("n0")
-    store = DurableStore(disk=disk, snapshot_interval=100)
+    store = store_cls(disk=disk, snapshot_interval=100)
     registry = MetricsRegistry()
     store.attach(registry, "n0")
     _populate(store, commits)
@@ -371,6 +381,24 @@ def test_snapshot_pruning_keeps_bounded_history(keypair):
     assert [s.height for s in list_snapshots(disk)] == [16, 20]
 
 
+def test_write_snapshot_rejects_non_positive_keep(keypair):
+    """keep <= 0 used to make the prune slice ``[:-keep]`` empty — a
+    silent no-op that retained every snapshot forever."""
+    ledger, commits = _build_chain(keypair, 1)
+    disk = SimDisk("n0")
+    for keep in (0, -1):
+        with pytest.raises(ValueError, match="keep"):
+            write_snapshot(
+                disk, 1, ledger.head.block_hash, {}, [], {}, keep=keep
+            )
+    assert list_snapshots(disk) == []  # nothing was written before the check
+
+
+def test_store_rejects_non_positive_keep_snapshots(store_cls):
+    with pytest.raises(ValueError, match="keep_snapshots"):
+        store_cls(disk=SimDisk("n0"), keep_snapshots=0)
+
+
 def test_snapshot_loader_rejects_tampered_payload(keypair):
     ledger, commits = _build_chain(keypair, 4)
     disk = SimDisk("n0", rng=random.Random(13))
@@ -389,9 +417,9 @@ def test_memory_store_recover_returns_none():
     assert store.maybe_snapshot(Ledger(), WorldState(), {}) is False
 
 
-def test_acked_map_tracks_payload_bytes(keypair):
+def test_acked_map_tracks_payload_bytes(keypair, store_cls):
     _, commits = _build_chain(keypair, 2)
-    store = DurableStore(disk=SimDisk("n0"), snapshot_interval=100)
+    store = store_cls(disk=SimDisk("n0"), snapshot_interval=100)
     _populate(store, commits)
     for block, validity, errors in commits:
         expected_crc = zlib.crc32(encode_record(block, validity, errors, None))

@@ -27,7 +27,7 @@ from repro.chain import BlockchainNetwork, InvariantAuditor
 from repro.chain.block import Block
 from repro.chain.ledger import Ledger
 from repro.chain.state import WorldState
-from repro.chain.store import DurableStore
+from repro.chain.store import DurableStore, SQLiteStore
 from repro.chain.transaction import Transaction, TxReceipt
 from repro.crypto import KeyPair
 from repro.simnet import ChaosSchedule, FailureSchedule, UniformLatency
@@ -37,13 +37,18 @@ DEFAULT_DISK_SEEDS = range(4)
 EXTENDED_DISK_SEEDS = range(4, 24)
 
 
-def _build(seed: int, snapshot_interval: int = 4):
+#: Both durable backends honour the same recovery contract; the network
+#: suites run against each so SQLiteStore earns the same guarantees.
+BACKENDS = ("durable", "sqlite")
+
+
+def _build(seed: int, snapshot_interval: int = 4, storage: str = "durable"):
     from tests.conftest import CounterContract
 
     network = BlockchainNetwork(
         n_peers=4, consensus="pbft", block_interval=0.5,
         latency=UniformLatency(0.01, 0.05), seed=seed, view_timeout=4.0,
-        storage="durable", snapshot_interval=snapshot_interval,
+        storage=storage, snapshot_interval=snapshot_interval,
     )
     network.install_contract(CounterContract)
     auditor = InvariantAuditor(network)
@@ -70,10 +75,11 @@ def _peer(network, node_id):
     return next(p for p in network.peers if p.node_id == node_id)
 
 
-def test_restart_recovers_from_store_not_replay():
+@pytest.mark.parametrize("storage", BACKENDS)
+def test_restart_recovers_from_store_not_replay(storage):
     """A clean crash-restart must come back through the store: snapshot
     + tail, with the archived prefix still queryable block by block."""
-    network, auditor, schedule = _build(seed=3, snapshot_interval=4)
+    network, auditor, schedule = _build(seed=3, snapshot_interval=4, storage=storage)
     schedule.crash_at(10.0, "peer-1")
     schedule.restart_at(13.0, "peer-1")
     _drive(network, n_txs=24)
@@ -91,10 +97,11 @@ def test_restart_recovers_from_store_not_replay():
     assert auditor.final_check(failures=schedule.log) == []
 
 
+@pytest.mark.parametrize("storage", BACKENDS)
 @pytest.mark.parametrize("fault", ["torn", "partial", "bitflip-log", "bitflip-snapshot"])
-def test_disk_fault_recovery_reconverges(fault):
+def test_disk_fault_recovery_reconverges(fault, storage):
     """Every injected fault class degrades detectably and re-converges."""
-    network, auditor, schedule = _build(seed=13, snapshot_interval=4)
+    network, auditor, schedule = _build(seed=13, snapshot_interval=4, storage=storage)
     victim = "peer-2"
     if fault == "torn":
         schedule.torn_write_at(7.9, victim)
@@ -144,7 +151,7 @@ def test_disk_events_logged_for_forensics():
 
 
 def _run_disk_chaos(seed: int, duration: float = 24.0, settle: float = 40.0,
-                    n_txs: int = 12):
+                    n_txs: int = 12, storage: str = "durable"):
     """One audited chaos run with the ``disk`` scenario enabled."""
     from tests.conftest import CounterContract
 
@@ -152,7 +159,7 @@ def _run_disk_chaos(seed: int, duration: float = 24.0, settle: float = 40.0,
     network = BlockchainNetwork(
         n_peers=4, consensus="pbft", block_interval=0.5,
         latency=UniformLatency(0.01, 0.08), seed=seed, view_timeout=4.0,
-        storage="durable", snapshot_interval=4,
+        storage=storage, snapshot_interval=4,
     )
     network.install_contract(CounterContract)
     auditor = InvariantAuditor(network)
@@ -173,6 +180,16 @@ def _run_disk_chaos(seed: int, duration: float = 24.0, settle: float = 40.0,
 @pytest.mark.parametrize("seed", DEFAULT_DISK_SEEDS)
 def test_disk_chaos_audited(seed):
     network, auditor, chaos = _run_disk_chaos(seed)
+    assert auditor.violations == []
+    assert chaos.log, "chaos plan injected nothing"
+    _assert_converged(network)
+
+
+@pytest.mark.parametrize("seed", [0, 1])
+def test_disk_chaos_audited_sqlite(seed):
+    """The sqlite backend survives the same disk-fault chaos (a slice in
+    tier-1; the full sweep runs behind ``-m chaos`` / ``make recovery``)."""
+    network, auditor, chaos = _run_disk_chaos(seed, storage="sqlite")
     assert auditor.violations == []
     assert chaos.log, "chaos plan injected nothing"
     _assert_converged(network)
@@ -214,11 +231,13 @@ def test_disk_scenario_requires_crash_windows():
 
 
 @pytest.mark.chaos
+@pytest.mark.parametrize("storage", BACKENDS)
 @pytest.mark.parametrize("seed", EXTENDED_DISK_SEEDS)
-def test_disk_chaos_audited_extended(seed):
-    """The wide disk-fault sweep behind ``make chaos`` / ``make recovery``."""
+def test_disk_chaos_audited_extended(seed, storage):
+    """The wide disk-fault sweep behind ``make chaos`` / ``make recovery``,
+    over both durable backends."""
     network, auditor, chaos = _run_disk_chaos(seed, duration=40.0, settle=50.0,
-                                              n_txs=20)
+                                              n_txs=20, storage=storage)
     assert auditor.violations == []
     _assert_converged(network)
 
@@ -237,6 +256,7 @@ def _make_tx(nonce: int) -> Transaction:
     )
 
 
+@pytest.mark.parametrize("store_cls", [DurableStore, SQLiteStore])
 @given(
     crash_point=st.integers(min_value=1, max_value=24),
     snapshot_interval=st.integers(min_value=1, max_value=9),
@@ -244,10 +264,11 @@ def _make_tx(nonce: int) -> Transaction:
 )
 @settings(max_examples=30, deadline=None,
           suppress_health_check=[HealthCheck.too_slow])
-def test_recovery_equals_uninterrupted_run(crash_point, snapshot_interval, torn):
-    """For any crash point and snapshot interval, recovering the durable
-    store reproduces the uninterrupted run exactly: same ledger tip,
-    same receipts, same world-state contents.
+def test_recovery_equals_uninterrupted_run(store_cls, crash_point,
+                                           snapshot_interval, torn):
+    """For any crash point and snapshot interval, recovering a durable
+    store — either backend — reproduces the uninterrupted run exactly:
+    same ledger tip, same receipts, same world-state contents.
 
     The crash lands after *crash_point* commits.  A clean crash (every
     record was fsync'd) must lose nothing; with a torn final write the
@@ -255,7 +276,7 @@ def test_recovery_equals_uninterrupted_run(crash_point, snapshot_interval, torn)
     the uninterrupted run one block earlier — with the loss accounted.
     """
     disk = SimDisk("n0", rng=random.Random(42))
-    store = DurableStore(disk=disk, snapshot_interval=snapshot_interval)
+    store = store_cls(disk=disk, snapshot_interval=snapshot_interval)
     ledger, state, receipts = Ledger(), WorldState(), {}
     checkpoints = {0: (ledger.head.block_hash, state.dump(), {})}
     nonce = 0
