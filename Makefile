@@ -29,17 +29,21 @@ bench:
 	$(PYTHON) -m pytest benchmarks -q
 
 # CI-sized pass over the substrate micro-benchmarks, the pipelined PBFT
-# sweep, the cold-start recovery comparison, and the explorer index-vs-
-# scan equivalence: REPRO_BENCH_SMOKE=1 shrinks the crypto benches, the
-# pipeline workload, and the synthetic chains so the hot paths (depth > 1
-# consensus, snapshot+tail recovery, index-path queries) are exercised on
-# every push without the statistical assertions (which need quiet
-# hardware) or the 10x explorer p95 gate (which needs the 100k chain).
+# sweep, the cold-start recovery comparison, the explorer index-vs-scan
+# equivalence, and the cascade-engine curve: REPRO_BENCH_SMOKE=1 shrinks
+# the crypto benches, the pipeline workload, the synthetic chains, and
+# the cascade worlds so the hot paths (depth > 1 consensus, snapshot+tail
+# recovery, index-path queries, vectorized frontier rounds + the scalar
+# oracle equivalence check) are exercised on every push without the
+# statistical assertions (which need quiet hardware), the 10x explorer
+# p95 gate (which needs the 100k chain), or the 20x cascade gate (which
+# needs the 100k world).
 bench-smoke:
 	REPRO_BENCH_SMOKE=1 $(PYTHON) -m pytest benchmarks/bench_micro_substrate.py \
 		benchmarks/bench_pipeline.py \
 		benchmarks/bench_recovery.py::test_cold_start_recovery \
 		benchmarks/bench_explorer.py \
+		benchmarks/bench_cascade.py \
 		-q --benchmark-disable
 
 # Crash-recovery: deep catch-up tests, the storage-engine suites

@@ -1,0 +1,205 @@
+"""Cascade engine scaling — the §VII million-user scale-out measured.
+
+Two instruments:
+
+- the scaling curve: synthesized CSR worlds at 1k/10k/100k/1M agents,
+  12-round bulk cascades, reporting shares/sec, candidate-edge
+  throughput, engine working-set bytes, and the process peak-RSS proxy;
+- the oracle gate: a real (networkx-built, agent-bound) 100k world run
+  through the scalar ``CascadeRunner`` and the vectorized bulk path,
+  gating the vectorized engine at ≥ ``SPEEDUP_FLOOR``x shares/sec, plus
+  a byte-identical scalar-vs-vectorized equivalence check on a
+  small-world oracle world (keyed draws, full-fidelity path).
+
+``REPRO_BENCH_SMOKE=1`` shrinks the worlds so CI exercises every path —
+synthesis, bulk rounds, the scalar comparison, the equivalence check —
+without the statistical gates (which need the full 100k/1M worlds and
+quiet hardware).
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import resource
+import time
+
+from benchmarks.conftest import emit
+from repro.corpus import CorpusGenerator
+from repro.social import (
+    CascadeRunner,
+    CompiledCascadeGraph,
+    FastCascadeRunner,
+    KeyedDraws,
+    bind_agents,
+    build_social_world,
+    make_population,
+    small_world_follow_graph,
+)
+
+_SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") == "1"
+
+#: Acceptance gate: vectorized bulk path vs the scalar oracle at
+#: GATE_AGENTS, in shares/sec.  Measured headroom is ~10x the floor
+#: (see EXPERIMENTS.md), so the gate survives noisy hardware.
+SPEEDUP_FLOOR = 20.0
+GATE_AGENTS = 2_000 if _SMOKE else 100_000
+#: Scalar rounds at the gate size: enough shares for a stable rate
+#: without spending minutes in the per-edge Python loop.
+GATE_SCALAR_ROUNDS = 4
+CURVE_SIZES = (1_000, 5_000) if _SMOKE else (1_000, 10_000, 100_000, 1_000_000)
+N_ROUNDS = 12
+
+
+def _peak_rss_mb() -> float:
+    """Process high-water RSS in MB (Linux reports ru_maxrss in KB)."""
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+
+
+def _working_set_mb(compiled: CompiledCascadeGraph, n_roots: int) -> float:
+    """Engine working set: CSR + agent arrays + per-root exposure rows."""
+    arrays = (
+        compiled.indptr, compiled.indices, compiled.share_probability,
+        compiled.attention, compiled.kind_codes, compiled.journalist,
+        compiled.malicious, compiled.mutate_probability,
+        compiled.ring_codes, compiled.community,
+    )
+    total = sum(a.nbytes for a in arrays) + n_roots * compiled.n_agents
+    return total / (1024.0 * 1024.0)
+
+
+def test_cascade_scaling_curve(benchmark):
+    """Shares/sec across three orders of magnitude, 1M included."""
+    rows = []
+    metrics: dict[str, float] = {}
+    results = []
+
+    def _sweep():
+        for n_agents in CURVE_SIZES:
+            t0 = time.perf_counter()
+            compiled = CompiledCascadeGraph.synthesize(n_agents, mean_degree=8.0, seed=17)
+            t_compile = time.perf_counter() - t0
+            runner = FastCascadeRunner(compiled, seed=23)
+            seed_nodes = list(range(0, n_agents, max(1, n_agents // 8)))[:8]
+            t0 = time.perf_counter()
+            stats = runner.run_stats(seed_nodes, n_rounds=N_ROUNDS, appeal=2.0, fake=True)
+            t_run = time.perf_counter() - t0
+            results.append((n_agents, t_compile, t_run, stats,
+                            _working_set_mb(compiled, len(seed_nodes)), _peak_rss_mb()))
+        return results
+
+    benchmark.pedantic(_sweep, rounds=1, iterations=1)
+
+    for n_agents, t_compile, t_run, stats, ws_mb, rss_mb in results:
+        shares_per_sec = stats.total_shares / t_run if t_run else 0.0
+        rows.append(
+            f"{n_agents:>9,} agents: {stats.total_shares:>9,} shares in "
+            f"{t_run:6.2f}s = {shares_per_sec:>11,.0f} shares/s  "
+            f"(compile {t_compile:5.2f}s, working set {ws_mb:7.1f} MB, "
+            f"peak RSS {rss_mb:7.0f} MB)"
+        )
+        metrics[f"shares_per_sec_{n_agents}"] = shares_per_sec
+        metrics[f"run_seconds_{n_agents}"] = t_run
+        metrics[f"working_set_mb_{n_agents}"] = ws_mb
+        metrics[f"peak_rss_mb_{n_agents}"] = rss_mb
+        # Completion contract: every size finishes all 12 rounds or dies
+        # out naturally, with sane reach.
+        assert stats.rounds_run <= N_ROUNDS
+        assert max(stats.reach(i) for i in range(len(stats.roots))) <= n_agents
+    if not _SMOKE:
+        largest = results[-1]
+        assert largest[0] == 1_000_000
+        assert largest[3].rounds_run == N_ROUNDS, "1M-agent cascade must run 12 rounds"
+        assert largest[3].total_shares > 0
+    emit(benchmark, "Cascade engine — scaling curve (bulk path)", rows, metrics=metrics)
+
+
+def _oracle_equivalence_check() -> int:
+    """Byte-identical scalar-vs-vectorized run on a small-world world.
+
+    Returns the shared share count (must be > 0 so the check is not
+    vacuously true).  Raises AssertionError on any divergence.
+    """
+    graph = small_world_follow_graph(120, k_neighbors=6, rewire=0.2, seed=5)
+    agents = make_population(120, random.Random(5), bot_fraction=0.1)
+    bind_agents(graph, agents)
+    draws = KeyedDraws(seed=99)
+
+    def _run(engine):
+        for node in graph.nodes():
+            graph.nodes[node]["agent"].seen.clear()
+        corpus = CorpusGenerator(seed=61)
+        fact = corpus.factual(timestamp=0.0)
+        fake = corpus.insertion_fake(fact, "agent-seed", 0.0)
+        seeds = [(0, fact), (60, fake)]
+        if engine == "scalar":
+            runner = CascadeRunner(graph, corpus, rng=random.Random(1), draws=draws)
+        else:
+            runner = FastCascadeRunner(graph, corpus, seed=1, draws=draws)
+        return runner.run(seeds, n_rounds=8)
+
+    scalar, fast = _run("scalar"), _run("fast")
+    assert scalar.events == fast.events
+    assert scalar.articles == fast.articles
+    assert scalar.exposed_agents == fast.exposed_agents
+    assert scalar.exposures_by_round == fast.exposures_by_round
+    assert scalar.shares_by_round == fast.shares_by_round
+    assert len(scalar.events) > 0
+    return len(scalar.events)
+
+
+def test_vectorized_engine_gated_against_scalar_oracle(benchmark):
+    """The ≥20x gate at 100k agents, plus the byte-identical oracle check."""
+    graph, agents, corpus = build_social_world(n_agents=GATE_AGENTS, seed=9)
+    fact = corpus.factual(topic="elections", timestamp=0.0)
+    fake = corpus.insertion_fake(fact, "agent-seed", 0.0)
+
+    measured: dict[str, float] = {}
+
+    def _compare():
+        t0 = time.perf_counter()
+        scalar_result = CascadeRunner(graph, corpus, rng=random.Random(3)).run(
+            [(0, fact), (1, fake)], n_rounds=GATE_SCALAR_ROUNDS
+        )
+        measured["scalar_seconds"] = time.perf_counter() - t0
+        measured["scalar_shares"] = sum(scalar_result.shares_by_round)
+
+        t0 = time.perf_counter()
+        compiled = CompiledCascadeGraph.from_graph(graph)
+        measured["compile_seconds"] = time.perf_counter() - t0
+        fast = FastCascadeRunner(compiled, seed=3)
+        t0 = time.perf_counter()
+        stats = fast.run_stats([0, 1], n_rounds=N_ROUNDS, appeal=[1.2, 2.6],
+                               fake=[False, True])
+        measured["fast_seconds"] = time.perf_counter() - t0
+        measured["fast_shares"] = stats.total_shares
+        measured["oracle_events"] = _oracle_equivalence_check()
+        return measured
+
+    benchmark.pedantic(_compare, rounds=1, iterations=1)
+
+    scalar_rate = measured["scalar_shares"] / measured["scalar_seconds"]
+    fast_rate = measured["fast_shares"] / measured["fast_seconds"]
+    speedup = fast_rate / scalar_rate if scalar_rate else float("inf")
+    rows = [
+        f"world: {GATE_AGENTS:,} agents (scale-free, bound population)",
+        f"scalar oracle : {measured['scalar_shares']:>9,.0f} shares in "
+        f"{measured['scalar_seconds']:6.2f}s = {scalar_rate:>11,.0f} shares/s "
+        f"({GATE_SCALAR_ROUNDS} rounds)",
+        f"vectorized    : {measured['fast_shares']:>9,.0f} shares in "
+        f"{measured['fast_seconds']:6.2f}s = {fast_rate:>11,.0f} shares/s "
+        f"({N_ROUNDS} rounds, compile {measured['compile_seconds']:.2f}s)",
+        f"speedup       : {speedup:,.1f}x (floor {SPEEDUP_FLOOR:.0f}x)",
+        f"oracle check  : byte-identical on {measured['oracle_events']:.0f} "
+        "small-world share events",
+    ]
+    emit(benchmark, "Cascade engine — vectorized vs scalar oracle", rows, metrics={
+        "speedup": speedup,
+        "scalar_shares_per_sec": scalar_rate,
+        "fast_shares_per_sec": fast_rate,
+        "gate_agents": float(GATE_AGENTS),
+    })
+    if not _SMOKE:
+        assert speedup >= SPEEDUP_FLOOR, (
+            f"vectorized speedup {speedup:.1f}x below the {SPEEDUP_FLOOR:.0f}x floor"
+        )

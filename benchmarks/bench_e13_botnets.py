@@ -21,7 +21,7 @@ from benchmarks.conftest import emit
 from repro.core import bot_scores, detect_bot_rings
 from repro.corpus import CorpusGenerator
 from repro.social import (
-    CascadeRunner,
+    FastCascadeRunner,
     bind_agents,
     interconnect,
     make_botnet,
@@ -50,7 +50,10 @@ def _world(seed: int, with_farm: bool):
         node for node, attrs in graph.nodes(data=True)
         if attrs["agent"].agent_id == author
     )
-    result = CascadeRunner(graph, corpus, rng=rng).run([(start, fake)], n_rounds=8)
+    # The botnet workload rides the vectorized engine (the same path the
+    # scaling benchmarks measure); compilation snapshots agents *after*
+    # make_botnet so the ring state lands in the struct-of-arrays form.
+    result = FastCascadeRunner(graph, corpus, seed=seed).run([(start, fake)], n_rounds=8)
     return result, recruits, fake
 
 

@@ -105,10 +105,14 @@ class AnalysisConfig:
     #: The storage classes are boundary classes too: a recovered chain
     #: is handed to the peer, so a store method returning a reference to
     #: its own mutable state would alias the store into live consensus.
+    #: The compiled cascade graph and the fast runner join them: a
+    #: compiled graph is shared between scalar and vectorized engines
+    #: (and across benchmark repetitions), so leaking mutable internals
+    #: would couple runs that must stay independent.
     boundary_classes: tuple[str, ...] = (
         "Peer", "SyncManager", "WorldState", "Mempool",
         "DurableStore", "SQLiteStore", "BlockLog", "SimDisk",
-        "ChainIndex",
+        "ChainIndex", "CompiledCascadeGraph", "FastCascadeRunner",
     )
     #: Directory names skipped during directory walks — the linter's own
     #: known-bad fixture corpus lives in tests/analysis/fixtures/.

@@ -17,6 +17,14 @@ DET004 (warn)   unordered collections (``set`` displays/calls, dict
                 ``sorted(...)`` wrapper.  Set iteration order is
                 insertion-order-dependent for ints/strs but the *intent*
                 is unordered — hashes built from them are fragile.
+DET005 (error)  NumPy's ambient escape hatches: calls through the
+                legacy global ``numpy.random.*`` API, a no-argument
+                ``numpy.random.default_rng()`` (OS entropy), and
+                no-argument bit-generator constructors.  The sanctioned
+                spelling — used by the vectorized cascade engine — is
+                ``numpy.random.default_rng(seed)`` with an explicit
+                seed, giving every array-sized draw the same
+                reproducibility contract as ``random.Random(seed)``.
 """
 
 from __future__ import annotations
@@ -26,7 +34,10 @@ from typing import Iterator
 
 from repro.analysis.core import Finding, ImportMap, ModuleInfo, Rule, register
 
-__all__ = ["AmbientRandomRule", "UnseededRngRule", "OsEntropyRule", "UnorderedSinkRule"]
+__all__ = [
+    "AmbientRandomRule", "UnseededRngRule", "OsEntropyRule",
+    "UnorderedSinkRule", "AmbientNumpyRandomRule",
+]
 
 #: Methods of the process-global RNG exposed at module level.
 _AMBIENT_RANDOM = {
@@ -115,6 +126,47 @@ class OsEntropyRule(Rule):
                     )
                     continue  # do not descend into the matched chain
             stack.extend(ast.iter_child_nodes(node))
+
+
+#: No-argument constructions that fall back to OS entropy.
+_NUMPY_UNSEEDED = {
+    "numpy.random.default_rng",
+    "numpy.random.PCG64", "numpy.random.PCG64DXSM",
+    "numpy.random.MT19937", "numpy.random.Philox", "numpy.random.SFC64",
+}
+
+
+@register
+class AmbientNumpyRandomRule(Rule):
+    rule_id = "DET005"
+    severity = "error"
+    summary = "ambient numpy.random.* call / unseeded default_rng()"
+
+    def check_module(self, mod: ModuleInfo) -> Iterator[Finding]:
+        imports = ImportMap(mod.tree)
+        for node in ast.walk(mod.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = imports.resolve(node.func)
+            if dotted is None or not dotted.startswith("numpy.random."):
+                continue
+            if dotted in _NUMPY_UNSEEDED:
+                if not node.args and not node.keywords:
+                    yield self.finding(
+                        mod, node,
+                        f"`{dotted}()` with no seed draws from OS entropy; "
+                        "pass an explicit seed — numpy.random.default_rng(seed) "
+                        "is the sanctioned spelling",
+                    )
+                continue  # seeded default_rng(seed) is the blessed path
+            if dotted == "numpy.random.Generator":
+                continue  # wraps an explicitly constructed bit generator
+            yield self.finding(
+                mod, node,
+                f"call to ambient `{dotted}` uses NumPy's process-global "
+                "RNG; thread a numpy.random.default_rng(seed) Generator "
+                "through instead",
+            )
 
 
 def _is_unordered_expr(node: ast.AST) -> str | None:

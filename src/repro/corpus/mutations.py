@@ -96,8 +96,26 @@ def _derive(
 
 
 def relay(article: Article, author: str, timestamp: float) -> Article:
-    """Faithful re-share: text unchanged, zero distortion."""
-    return _derive([article], article.text, author, timestamp, "relay", distortion=0.0)
+    """Faithful re-share: text unchanged, zero distortion.
+
+    Built directly rather than through :func:`_derive`: the text is the
+    parent's by construction, so the measured change is exactly 0.0 and
+    the two tokenization passes :func:`measured_change` would spend
+    proving that are skipped — relays are the bulk of every cascade.
+    """
+    return Article(
+        article_id="",
+        topic=article.topic,
+        text=article.text,
+        author=author,
+        timestamp=timestamp,
+        parents=(article.article_id,),
+        op="relay",
+        modification_degree=0.0,
+        distortion=0.0,
+        cumulative_distortion=article.cumulative_distortion,
+        fabricated=article.fabricated,
+    )
 
 
 def split(

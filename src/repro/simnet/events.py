@@ -7,13 +7,19 @@ are well-defined races rather than apples-to-oranges comparisons.
 
 Events at equal timestamps fire in scheduling order (a monotone sequence
 number breaks ties), which keeps runs fully deterministic.
+
+Hot-path notes: the heap holds plain ``(time, seq, event)`` tuples, so
+ordering is C-level tuple comparison instead of dataclass ``__lt__``
+dispatch; :class:`Event` is a slotted handle (no per-event ``__dict__``);
+and the live-event count is maintained incrementally on schedule /
+cancel / pop, so :attr:`Simulator.pending` is O(1) even with a million
+queued timers.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
-from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from repro.errors import SimulationError
@@ -21,19 +27,43 @@ from repro.errors import SimulationError
 __all__ = ["Event", "Simulator"]
 
 
-@dataclass(order=True)
 class Event:
-    """A scheduled callback; ordered by (time, seq)."""
+    """A scheduled callback handle; fires as ``callback(*args)``.
 
-    time: float
-    seq: int
-    callback: Callable[[], Any] = field(compare=False)
-    label: str = field(compare=False, default="")
-    cancelled: bool = field(compare=False, default=False)
+    Returned by :meth:`Simulator.schedule`; hold onto it only to
+    :meth:`cancel`.  Heap ordering lives in the simulator's
+    ``(time, seq, event)`` tuples, not on this class.
+    """
+
+    __slots__ = ("time", "seq", "callback", "args", "label", "cancelled", "_sim")
+
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        callback: Callable[..., Any],
+        args: tuple = (),
+        label: str = "",
+        sim: "Simulator | None" = None,
+    ):
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.label = label
+        self.cancelled = False
+        self._sim = sim
 
     def cancel(self) -> None:
         """Mark the event so the simulator skips it when popped."""
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            if self._sim is not None:
+                self._sim._live -= 1
+
+    def __repr__(self) -> str:  # debugging aid; never on the hot path
+        state = " cancelled" if self.cancelled else ""
+        return f"Event(t={self.time!r}, seq={self.seq}, label={self.label!r}{state})"
 
 
 class Simulator:
@@ -49,10 +79,11 @@ class Simulator:
     """
 
     def __init__(self) -> None:
-        self._queue: list[Event] = []
+        self._queue: list[tuple[float, int, Event]] = []
         self._seq = itertools.count()
         self._now = 0.0
         self._events_processed = 0
+        self._live = 0
 
     @property
     def now(self) -> float:
@@ -65,30 +96,50 @@ class Simulator:
 
     @property
     def pending(self) -> int:
-        """Number of queued (possibly cancelled) events."""
-        return sum(1 for e in self._queue if not e.cancelled)
+        """Number of queued live (non-cancelled) events, in O(1)."""
+        return self._live
 
-    def schedule(self, delay: float, callback: Callable[[], Any], label: str = "") -> Event:
-        """Schedule *callback* to run *delay* time units from now."""
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[..., Any],
+        label: str = "",
+        args: tuple = (),
+    ) -> Event:
+        """Schedule ``callback(*args)`` to run *delay* time units from now.
+
+        Passing *args* instead of closing over them avoids allocating a
+        lambda per scheduled event — the difference shows up when every
+        network message schedules a delivery.
+        """
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
-        event = Event(time=self._now + delay, seq=next(self._seq), callback=callback, label=label)
-        heapq.heappush(self._queue, event)
+        time = self._now + delay
+        event = Event(time, next(self._seq), callback, args, label, self)
+        heapq.heappush(self._queue, (time, event.seq, event))
+        self._live += 1
         return event
 
-    def schedule_at(self, time: float, callback: Callable[[], Any], label: str = "") -> Event:
-        """Schedule *callback* at an absolute simulated time."""
-        return self.schedule(time - self._now, callback, label=label)
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[..., Any],
+        label: str = "",
+        args: tuple = (),
+    ) -> Event:
+        """Schedule ``callback(*args)`` at an absolute simulated time."""
+        return self.schedule(time - self._now, callback, label=label, args=args)
 
     def step(self) -> bool:
         """Run the next event; returns False when the queue is empty."""
         while self._queue:
-            event = heapq.heappop(self._queue)
+            _, _, event = heapq.heappop(self._queue)
             if event.cancelled:
-                continue
+                continue  # cancel() already dropped it from the live count
+            self._live -= 1
             self._now = event.time
             self._events_processed += 1
-            event.callback()
+            event.callback(*event.args)
             return True
         return False
 
@@ -105,11 +156,11 @@ class Simulator:
         while self._queue:
             if max_events is not None and processed >= max_events:
                 return
-            head = self._queue[0]
-            if head.cancelled:
+            head_time, _, head_event = self._queue[0]
+            if head_event.cancelled:
                 heapq.heappop(self._queue)
                 continue
-            if until is not None and head.time > until:
+            if until is not None and head_time > until:
                 self._now = max(self._now, until)
                 return
             self.step()

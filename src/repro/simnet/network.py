@@ -106,11 +106,16 @@ class NetworkNode(ABC):
         self.network.transmit(self.node_id, dst, kind, payload)
 
     def broadcast(self, kind: str, payload: Any, include_self: bool = False) -> None:
-        """Send a message to every node on the network."""
+        """Send a message to every node on the network.
+
+        The payload is sized once for the whole fan-out and the
+        destination list is the network's cached id tuple — at 10k
+        peers, neither cost scales with the peer count per message.
+        """
         if self.network is None:
             raise SimulationError(f"node {self.node_id} is not attached to a network")
         size = estimate_payload_size(payload)
-        for dst in self.network.node_ids():
+        for dst in self.network.all_node_ids():
             if include_self or dst != self.node_id:
                 self.network.transmit(self.node_id, dst, kind, payload, _size=size)
 
@@ -156,18 +161,25 @@ class Network:
         self.stats = NetworkStats(registry=obs)
         self._nodes: dict[str, NetworkNode] = {}
         self._partition: list[frozenset[str]] | None = None
+        self._node_id_cache: tuple[str, ...] = ()
 
     def add_node(self, node: NetworkNode) -> None:
         if node.node_id in self._nodes:
             raise SimulationError(f"duplicate node id {node.node_id!r}")
         node.network = self
         self._nodes[node.node_id] = node
+        self._node_id_cache = tuple(self._nodes)
 
     def node(self, node_id: str) -> NetworkNode:
         return self._nodes[node_id]
 
     def node_ids(self) -> list[str]:
-        return list(self._nodes)
+        return list(self._node_id_cache)
+
+    def all_node_ids(self) -> tuple[str, ...]:
+        """Every node id, as the cached tuple broadcast iterates —
+        rebuilt only when the membership changes, never per call."""
+        return self._node_id_cache
 
     def __len__(self) -> int:
         return len(self._nodes)
@@ -217,23 +229,35 @@ class Network:
 
         ``_size`` lets :meth:`NetworkNode.broadcast` estimate a fanned-out
         payload once instead of once per destination.  Bytes are charged
-        at send time (dropped messages still consumed sender bandwidth).
+        at send time (dropped messages still consumed sender bandwidth),
+        but the partition/drop early-outs come first, so a message that
+        dies on the wire never pays for latency sampling, a
+        :class:`Message` allocation, or a scheduler entry — with a
+        precomputed ``_size`` the drop path is pure counter updates.
         """
         if dst not in self._nodes:
             raise SimulationError(f"unknown destination node {dst!r}")
         self.stats.sent += 1
-        if _size is None:
-            _size = estimate_payload_size(payload)
-        self.stats.bytes_estimate += _WIRE_OVERHEAD + len(kind) + _size
         if not self._same_side(src, dst):
+            if _size is None:
+                _size = estimate_payload_size(payload)
+            self.stats.bytes_estimate += _WIRE_OVERHEAD + len(kind) + _size
             self.stats.dropped_partition += 1
             return
         if self.drop_probability and self.rng.random() < self.drop_probability:
+            if _size is None:
+                _size = estimate_payload_size(payload)
+            self.stats.bytes_estimate += _WIRE_OVERHEAD + len(kind) + _size
             self.stats.dropped_random += 1
             return
+        if _size is None:
+            _size = estimate_payload_size(payload)
+        self.stats.bytes_estimate += _WIRE_OVERHEAD + len(kind) + _size
         delay = self.latency.sample(src, dst, self.rng)
         message = Message(src=src, dst=dst, kind=kind, payload=payload, sent_at=self.sim.now)
-        self.sim.schedule(delay, lambda: self._deliver(message), label=f"{kind}:{src}->{dst}")
+        self.sim.schedule(
+            delay, self._deliver, label=f"{kind}:{src}->{dst}", args=(message,)
+        )
 
     def _deliver(self, message: Message) -> None:
         node = self._nodes.get(message.dst)

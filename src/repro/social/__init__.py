@@ -7,6 +7,12 @@ mutation-on-share, and scenario harnesses (fake-vs-factual races).
 
 from repro.social.agents import AgentKind, SocialAgent, make_botnet, make_population
 from repro.social.cascade import CascadeResult, CascadeRunner, ShareEvent, emotional_appeal
+from repro.social.fastcascade import (
+    CascadeStats,
+    CompiledCascadeGraph,
+    FastCascadeRunner,
+    KeyedDraws,
+)
 from repro.social.graphs import (
     bind_agents,
     interconnect,
@@ -29,6 +35,10 @@ __all__ = [
     "make_population",
     "CascadeResult",
     "CascadeRunner",
+    "CascadeStats",
+    "CompiledCascadeGraph",
+    "FastCascadeRunner",
+    "KeyedDraws",
     "ShareEvent",
     "emotional_appeal",
     "bind_agents",

@@ -29,9 +29,25 @@ from repro.corpus.generator import CorpusGenerator
 from repro.corpus.lexicon import EMOTIONAL_WORDS, tokenize
 from repro.social.agents import AgentKind, SocialAgent
 
-__all__ = ["ShareEvent", "CascadeResult", "CascadeRunner", "emotional_appeal"]
+__all__ = [
+    "ShareEvent",
+    "CascadeResult",
+    "CascadeRunner",
+    "emotional_appeal",
+    "DRAW_SHARE",
+    "DRAW_VERIFY",
+    "DRAW_MUTATE",
+    "DRAW_BENIGN",
+]
 
 _EMOTIONAL = frozenset(EMOTIONAL_WORDS)
+
+#: Purposes for injectable keyed draw sources (see
+#: :class:`repro.social.fastcascade.KeyedDraws`).  A draw source maps
+#: (article key, agent index, purpose) to a uniform in [0, 1), so the
+#: scalar and vectorized engines consume identical randomness no matter
+#: which order they evaluate candidates in.
+DRAW_SHARE, DRAW_VERIFY, DRAW_MUTATE, DRAW_BENIGN = 0, 1, 2, 3
 
 
 def emotional_appeal(article: Article) -> float:
@@ -67,17 +83,41 @@ class CascadeResult:
     exposures_by_round: list[dict[str, int]] = field(default_factory=list)
     shares_by_round: list[int] = field(default_factory=list)
     exposed_agents: dict[str, set[str]] = field(default_factory=dict)
+    #: root id -> lineage article ids in creation order (root included);
+    #: filled by the runners so :meth:`descendants` is O(lineage), not
+    #: O(every article any root produced).
+    children_by_root: dict[str, list[str]] = field(default_factory=dict)
+    #: root id -> unique exposed-agent count.  The vectorized engine can
+    #: skip materializing ``exposed_agents`` sets at scale and record the
+    #: counts here instead; :meth:`reach` falls through to them.
+    reach_counts: dict[str, int] = field(default_factory=dict)
 
     def reach(self, root_id: str) -> int:
         """Unique agents exposed to any descendant of *root_id*."""
-        return len(self.exposed_agents.get(root_id, ()))
+        agents = self.exposed_agents.get(root_id)
+        if agents is not None:
+            return len(agents)
+        return self.reach_counts.get(root_id, 0)
 
     def reach_curve(self, root_id: str) -> list[int]:
         """Cumulative exposure per round for one root."""
         return [snapshot.get(root_id, 0) for snapshot in self.exposures_by_round]
 
     def descendants(self, root_id: str) -> list[Article]:
-        return [a for aid, a in self.articles.items() if self.root_of.get(aid) == root_id]
+        """Every article of *root_id*'s lineage, root included."""
+        lineage = self.children_by_root.get(root_id)
+        if lineage is None:
+            # Hand-assembled results never filled the index; fall back
+            # to the full scan these records used to require.
+            return [a for aid, a in self.articles.items() if self.root_of.get(aid) == root_id]
+        return [self.articles[aid] for aid in lineage]
+
+    def record_article(self, article: Article, root_id: str) -> None:
+        """Register *article* under *root_id*, keeping the lineage index
+        consistent — the one write path both engines share."""
+        self.articles[article.article_id] = article
+        self.root_of[article.article_id] = root_id
+        self.children_by_root.setdefault(root_id, []).append(article.article_id)
 
 
 class CascadeRunner:
@@ -90,6 +130,12 @@ class CascadeRunner:
             their share probability multiplied by (1 - damping).
         on_share: callback fired for every share event (platform hook).
         damping: intervention strength (paper cites 80 % for Facebook).
+        draws: optional keyed draw source (see
+            :class:`repro.social.fastcascade.KeyedDraws`).  When given,
+            every share/verify/mutate decision is a pure function of
+            (article, agent, purpose) instead of a sequential ``rng``
+            draw, which is what lets the vectorized engine reproduce
+            this runner's output byte for byte.
     """
 
     def __init__(
@@ -103,6 +149,7 @@ class CascadeRunner:
         damping: float = 0.8,
         promotion_boost: float = 2.0,
         journalist_verify_accuracy: float = 0.85,
+        draws=None,
     ):
         self.graph = graph
         self.corpus = corpus
@@ -113,20 +160,48 @@ class CascadeRunner:
         self.damping = damping
         self.promotion_boost = promotion_boost
         self.journalist_verify_accuracy = journalist_verify_accuracy
+        self.draws = draws
+        # Appeal is a pure function of the text, and relays reuse the
+        # parent's text object — keying the cache by text makes every
+        # relay a cache hit instead of a fresh tokenization pass.
         self._appeal_cache: dict[str, float] = {}
+        self._node_index: dict[int, int] | None = None
+        self._key_cache: dict[str, int] = {}
 
     def _agent(self, node: int) -> SocialAgent:
         return self.graph.nodes[node]["agent"]
 
+    def _agent_index(self, node: int) -> int:
+        """Stable agent index shared with the vectorized engine (the
+        node's rank in sorted node order, as in ``bind_agents``)."""
+        if self._node_index is None:
+            self._node_index = {n: i for i, n in enumerate(sorted(self.graph.nodes()))}
+        return self._node_index[node]
+
     def _appeal(self, article: Article) -> float:
-        cached = self._appeal_cache.get(article.article_id)
+        cached = self._appeal_cache.get(article.text)
         if cached is None:
             cached = emotional_appeal(article)
-            self._appeal_cache[article.article_id] = cached
+            self._appeal_cache[article.text] = cached
         return cached
 
+    def _unit(self, purpose: int, article: Article, agent_index: int | None) -> float:
+        """One uniform draw: keyed when a draw source is injected,
+        sequential from ``self.rng`` otherwise (the historical path)."""
+        if self.draws is None or agent_index is None:
+            return self.rng.random()
+        key = self._key_cache.get(article.article_id)
+        if key is None:
+            key = self.draws.key(article.article_id)
+            self._key_cache[article.article_id] = key
+        return self.draws.unit(key, agent_index, purpose)
+
     def _wants_to_share(
-        self, agent: SocialAgent, article: Article, poster: SocialAgent | None = None
+        self,
+        agent: SocialAgent,
+        article: Article,
+        poster: SocialAgent | None = None,
+        agent_index: int | None = None,
     ) -> bool:
         probability = agent.share_probability * self._appeal(article)
         if (
@@ -149,14 +224,25 @@ class CascadeRunner:
             # fake content with some accuracy, and never share flagged items.
             if self.flagged(article.article_id):
                 return False
-            if article.label_fake and self.rng.random() < self.journalist_verify_accuracy:
+            if article.label_fake and (
+                self._unit(DRAW_VERIFY, article, agent_index)
+                < self.journalist_verify_accuracy
+            ):
                 return False
-        return self.rng.random() < min(1.0, probability)
+        return self._unit(DRAW_SHARE, article, agent_index) < min(1.0, probability)
 
-    def _derive_share(self, agent: SocialAgent, article: Article, time: float) -> Article:
-        if agent.malicious and self.rng.random() < agent.mutate_probability:
+    def _derive_share(
+        self,
+        agent: SocialAgent,
+        article: Article,
+        time: float,
+        agent_index: int | None = None,
+    ) -> Article:
+        if agent.malicious and (
+            self._unit(DRAW_MUTATE, article, agent_index) < agent.mutate_probability
+        ):
             return self.corpus.malicious_derivation(article, agent.agent_id, time)
-        if self.rng.random() < 0.1:
+        if self._unit(DRAW_BENIGN, article, agent_index) < 0.1:
             return self.corpus.benign_derivation(article, agent.agent_id, time)
         return self.corpus.relay_derivation(article, agent.agent_id, time)
 
@@ -169,10 +255,11 @@ class CascadeRunner:
     ) -> CascadeResult:
         """Propagate *seeds* (node, article) for *n_rounds* rounds."""
         result = CascadeResult()
+        keyed = self.draws is not None
         frontier: list[tuple[int, Article]] = []
         for node, article in seeds:
-            result.articles[article.article_id] = article
-            result.root_of[article.article_id] = article.article_id
+            if article.article_id not in result.root_of:
+                result.record_article(article, article.article_id)
             result.exposed_agents[article.article_id] = {self._agent(node).agent_id}
             frontier.append((node, article))
         for round_index in range(n_rounds):
@@ -190,12 +277,12 @@ class CascadeRunner:
                     result.exposed_agents.setdefault(root, set()).add(agent.agent_id)
                     if attention_used.get(agent.agent_id, 0) >= agent.attention:
                         continue
-                    if not self._wants_to_share(agent, article, self._agent(poster_node)):
+                    index = self._agent_index(follower_node) if keyed else None
+                    if not self._wants_to_share(agent, article, self._agent(poster_node), index):
                         continue
                     attention_used[agent.agent_id] = attention_used.get(agent.agent_id, 0) + 1
-                    derived = self._derive_share(agent, article, time)
-                    result.articles[derived.article_id] = derived
-                    result.root_of[derived.article_id] = root
+                    derived = self._derive_share(agent, article, time, index)
+                    result.record_article(derived, root)
                     event = ShareEvent(
                         time=time,
                         round_index=round_index,

@@ -52,6 +52,44 @@ def test_det003_reports_chain_once():
     assert [f.rule for f in findings] == ["DET003"]
 
 
+def test_det005_flags_ambient_numpy_random():
+    findings = analyze_source(
+        "import numpy as np\n\ndef draw():\n    return np.random.random(8)\n",
+        path="np_ambient.py",
+    )
+    assert [f.rule for f in findings] == ["DET005"]
+    assert findings[0].severity == "error"
+
+
+def test_det005_flags_unseeded_default_rng():
+    findings = analyze_source(
+        "import numpy as np\n\nrng = np.random.default_rng()\n",
+        path="np_unseeded.py",
+    )
+    assert [f.rule for f in findings] == ["DET005"]
+
+
+def test_det005_sees_through_import_aliases():
+    findings = analyze_source(
+        "from numpy.random import default_rng as mk\n\nrng = mk()\n",
+        path="np_aliased.py",
+    )
+    assert [f.rule for f in findings] == ["DET005"]
+
+
+def test_det005_sanctions_seeded_generator():
+    # The vectorized cascade engine's spelling: explicit seed, drawn
+    # through the returned Generator — no findings of any kind.
+    findings = analyze_source(
+        "import numpy as np\n\n"
+        "rng = np.random.default_rng(42)\n"
+        "x = rng.random(4)\n"
+        "y = np.random.default_rng(seed=7).integers(0, 10)\n",
+        path="np_seeded.py",
+    )
+    assert findings == []
+
+
 # -- SIM --------------------------------------------------------------------
 
 def test_sim_fires_inside_domain():

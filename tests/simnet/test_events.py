@@ -105,3 +105,48 @@ def test_pending_counts_live_events():
     assert sim.pending == 2
     event.cancel()
     assert sim.pending == 1
+
+
+def test_pending_stays_consistent_cancelling_from_large_queue():
+    """`pending` is maintained incrementally, so cancelling events deep
+    in a large queue must update the count without rescanning it (the
+    seed implementation walked the whole heap per call)."""
+    sim = Simulator()
+    events = [sim.schedule(float(i % 97) + 1.0, lambda: None) for i in range(10_000)]
+    assert sim.pending == 10_000
+    for event in events[::3]:
+        event.cancel()
+    cancelled = len(events[::3])
+    assert sim.pending == 10_000 - cancelled
+    # Double-cancel must not double-decrement.
+    events[0].cancel()
+    assert sim.pending == 10_000 - cancelled
+    # Draining fires exactly the live events and ends at zero pending.
+    sim.run()
+    assert sim.events_processed == 10_000 - cancelled
+    assert sim.pending == 0
+
+
+def test_pending_tracks_pops_and_mid_run_schedules():
+    sim = Simulator()
+    fired = []
+
+    def chain(depth):
+        fired.append(depth)
+        if depth:
+            sim.schedule(1.0, chain, args=(depth - 1,))
+
+    sim.schedule(1.0, chain, args=(3,))
+    assert sim.pending == 1
+    sim.run()
+    assert fired == [3, 2, 1, 0]
+    assert sim.pending == 0
+
+
+def test_schedule_args_avoid_closures():
+    sim = Simulator()
+    got = []
+    sim.schedule(1.0, got.append, args=("payload",))
+    sim.schedule_at(2.0, lambda a, b: got.append((a, b)), args=(1, 2))
+    sim.run()
+    assert got == ["payload", (1, 2)]

@@ -182,6 +182,49 @@ def test_bytes_estimate_charged_even_for_drops():
     assert net.stats.bytes_estimate > 50
 
 
+def test_broadcast_iterates_cached_id_tuple():
+    """broadcast must not rebuild the node-id list per call; the cache
+    is invalidated when membership changes."""
+    sim, net, nodes = build(3)
+    first = net.all_node_ids()
+    assert first is net.all_node_ids()  # same tuple object, no rebuild
+    late = Recorder("n9")
+    net.add_node(late)
+    assert net.all_node_ids() != first
+    assert "n9" in net.all_node_ids()
+    nodes[0].broadcast("hello", None)
+    sim.run()
+    assert len(late.received) == 1
+    # The public list API still returns a fresh, mutation-safe copy.
+    ids = net.node_ids()
+    ids.append("bogus")
+    assert "bogus" not in net.all_node_ids()
+
+
+def test_transmit_drop_paths_schedule_nothing():
+    """Partition/drop early-outs must not reach the scheduler: a dropped
+    message costs counters, not an Event allocation."""
+    sim, net, nodes = build(2)
+    net.partition({"n0"})
+    nodes[0].send("n1", "lost", {"data": "x" * 10})
+    assert sim.pending == 0  # nothing queued for a partitioned message
+    net.heal()
+    nodes[0].send("n1", "kept", None)
+    assert sim.pending == 1
+    sim.run()
+    assert [m.kind for m in nodes[1].received] == ["kept"]
+
+
+def test_transmit_random_drop_charges_bytes_without_scheduling():
+    sim, net, nodes = build(2, drop_probability=0.999999, seed=3)
+    before = net.stats.bytes_estimate
+    for _ in range(20):
+        nodes[0].send("n1", "m", {"data": "y" * 30})
+    assert net.stats.dropped_random == 20
+    assert net.stats.bytes_estimate - before > 20 * 30  # bandwidth still spent
+    assert sim.pending == 0
+
+
 def test_payload_size_estimator_shapes():
     from repro.simnet import estimate_payload_size
 
